@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation — oracle search parameters: candidate pool size K (DESIGN.md
+ * §5.2) and greedy vs exhaustive subset selection (§5.3), on a reduced
+ * trace so the exhaustive run stays cheap.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/oracle.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    copra::bench::BenchOptions opts;
+    opts.config.branches = 200000;
+    opts.config.mineConditionals = 200000;
+    if (!opts.parse(argc, argv,
+                    "Ablation: oracle candidate pool size and greedy vs "
+                    "exhaustive selection"))
+        return 0;
+    copra::bench::banner("Ablation: oracle search (sel-3 accuracy)",
+                         opts);
+
+    const std::vector<unsigned> pools = {4, 8, 14};
+    std::vector<std::string> headers = {"benchmark"};
+    for (unsigned k : pools)
+        headers.push_back("greedy K=" + std::to_string(k));
+    headers.push_back("exhaustive K=8");
+    copra::Table table(headers);
+
+    for (const auto &name : copra::workload::benchmarkNames()) {
+        auto trace = copra::core::makeExperimentTrace(name, opts.config);
+        table.row().cell(name);
+        for (unsigned k : pools) {
+            copra::core::OracleConfig oc;
+            oc.historyDepth = opts.config.historyDepth;
+            oc.candidatePool = k;
+            oc.mineConditionals = opts.config.mineConditionals;
+            copra::core::SelectiveOracle oracle(trace, oc);
+            table.cell(oracle.accuracyPercent(3), 2);
+        }
+        copra::core::OracleConfig oc;
+        oc.historyDepth = opts.config.historyDepth;
+        oc.candidatePool = 8;
+        oc.mineConditionals = opts.config.mineConditionals;
+        oc.exhaustive = true;
+        copra::core::SelectiveOracle oracle(trace, oc);
+        table.cell(oracle.accuracyPercent(3), 2);
+    }
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::printf("\nexpectation: accuracy saturates with K; exhaustive "
+                "gains little over greedy (the candidates the miner "
+                "ranks first are rarely complementary-only).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: common CLI options and the
+ * standard header each harness prints. Every bench regenerates one of
+ * the paper's tables or figures over the synthetic benchmark suite and
+ * prints the paper's published values alongside for comparison.
+ */
+
+#ifndef COPRA_BENCH_BENCH_COMMON_HPP
+#define COPRA_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "util/cli.hpp"
+
+namespace copra::bench {
+
+/** CLI options shared by all table/figure harnesses. */
+struct BenchOptions
+{
+    core::ExperimentConfig config;
+    bool csv = false;
+
+    /**
+     * Parse argv; returns false if the program should exit (e.g.
+     * --help). @p extra lets a harness register additional options.
+     */
+    bool
+    parse(int argc, char **argv, const std::string &description,
+          const std::function<void(OptionParser &)> &extra = {})
+    {
+        OptionParser options(description);
+        options.addUint("branches", &config.branches,
+                        "dynamic conditional branches per benchmark");
+        options.addUint("seed", &config.seed,
+                        "workload seed (0 = canonical)");
+        options.addUint("mine", &config.mineConditionals,
+                        "branches used for candidate mining (0 = all)");
+        options.addFlag("csv", &csv, "emit CSV instead of aligned text");
+        uint64_t depth = config.historyDepth;
+        uint64_t pool = config.candidatePool;
+        options.addUint("depth", &depth, "history window depth n");
+        options.addUint("pool", &pool, "oracle candidate pool size K");
+        if (extra)
+            extra(options);
+        if (!options.parse(argc, argv))
+            return false;
+        config.historyDepth = static_cast<unsigned>(depth);
+        config.candidatePool = static_cast<unsigned>(pool);
+        return true;
+    }
+};
+
+/** Print the standard harness banner. */
+inline void
+banner(const char *artifact, const BenchOptions &opts)
+{
+    std::printf("== %s ==\n", artifact);
+    std::printf("synthetic SPECint95-like suite, %llu branches/benchmark, "
+                "seed %llu (see DESIGN.md for the substitution rationale)\n\n",
+                static_cast<unsigned long long>(opts.config.branches),
+                static_cast<unsigned long long>(opts.config.seed));
+}
+
+} // namespace copra::bench
+
+#endif // COPRA_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 4 — selective history vs gshare and interference-free gshare:
+ * prediction accuracy using an oracle-chosen selective history of 1, 2,
+ * or 3 branches (3-valued taken / not-taken / not-in-path encoding, 16
+ * prior branches considered), against IF gshare and regular gshare.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    copra::bench::BenchOptions opts;
+    if (!opts.parse(argc, argv,
+                    "Figure 4: selective history (1/2/3 oracle-chosen "
+                    "branches) vs gshare and IF gshare"))
+        return 0;
+    copra::bench::banner("Figure 4: selective history vs gshare", opts);
+
+    copra::Table table({"benchmark", "IF sel-1", "IF sel-2", "IF sel-3",
+                        "IF gshare", "gshare"});
+    for (const auto &name : copra::workload::benchmarkNames()) {
+        copra::core::BenchmarkExperiment experiment(name, opts.config);
+        copra::core::Fig4Row row = experiment.fig4Row();
+        table.row()
+            .cell(name)
+            .cell(row.selective1, 2)
+            .cell(row.selective2, 2)
+            .cell(row.selective3, 2)
+            .cell(row.ifGshare, 2)
+            .cell(row.gshare, 2);
+    }
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::printf("\npaper shape: sel-1 already respectable; sel-3 close "
+                "to IF gshare; gshare below IF gshare.\n");
+    return 0;
+}

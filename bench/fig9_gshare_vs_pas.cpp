@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 9 — difference between gshare and PAs accuracy: for each
+ * benchmark, the percentile-of-dynamic-branches curve of the per-branch
+ * accuracy difference (gshare - PAs, percentage points). The paper
+ * plots gcc and perl; the left tail is where PAs is much better, the
+ * right tail where gshare is much better, and both tails being fat is
+ * why hybrids win.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    copra::bench::BenchOptions opts;
+    if (!opts.parse(argc, argv,
+                    "Figure 9: percentile curve of per-branch gshare - "
+                    "PAs accuracy difference"))
+        return 0;
+    copra::bench::banner("Figure 9: gshare - PAs accuracy difference",
+                         opts);
+
+    const std::vector<double> percentiles = {0,  5,  10, 25, 50,
+                                             75, 90, 95, 100};
+    std::vector<std::string> headers = {"benchmark"};
+    for (double p : percentiles)
+        headers.push_back("p" + std::to_string(static_cast<int>(p)));
+    copra::Table table(headers);
+
+    for (const auto &name : copra::workload::benchmarkNames()) {
+        copra::core::BenchmarkExperiment experiment(name, opts.config);
+        auto wp = experiment.fig9Percentiles();
+        table.row().cell(name);
+        for (double p : percentiles)
+            table.cell(wp.percentile(p), 1);
+    }
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::printf("\npaper reference (gcc): p10 ~ -7.0 (PAs better), p90 "
+                "~ +10.4 (gshare better); perl much flatter.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1 — benchmark summary: the synthetic suite standing in for
+ * SPECint95, with dynamic branch counts, static branch populations, and
+ * bias structure, next to the paper's dynamic branch counts.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    copra::bench::BenchOptions opts;
+    opts.config.branches = 2000000;
+    if (!opts.parse(argc, argv,
+                    "Table 1: benchmark suite summary (synthetic "
+                    "SPECint95 substitution)"))
+        return 0;
+    copra::bench::banner("Table 1: benchmark summary", opts);
+
+    copra::Table table({"benchmark", "dyn branches", "static", "taken %",
+                        ">99% biased %", "ideal static %",
+                        "paper dyn branches"});
+    for (const auto &name : copra::workload::benchmarkNames()) {
+        auto trace = copra::workload::makeBenchmarkTrace(
+            name, opts.config.branches, opts.config.seed);
+        copra::trace::TraceStats stats(trace);
+        const auto &ref = copra::workload::paperReference(name);
+        table.row()
+            .cell(name)
+            .cell(stats.dynamicBranches())
+            .cell(static_cast<uint64_t>(stats.staticBranches()))
+            .cell(100.0 * stats.dynamicTaken() / stats.dynamicBranches(),
+                  1)
+            .cell(100.0 * stats.dynamicFractionWithBiasAbove(0.99), 1)
+            .cell(100.0 * stats.idealStaticCorrect()
+                      / stats.dynamicBranches(),
+                  2)
+            .cell(ref.paperDynamicBranches);
+    }
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hybrid designer: explores the hybrid design space the paper's §5
+ * motivates. For one benchmark it reports the components, the real
+ * tournament hybrid, the Chang-style bias-classifying hybrid, and the
+ * per-branch-oracle upper bound (what a perfect chooser would achieve),
+ * showing how much of the oracle gap each realizable scheme closes.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "predictor/bias_hybrid.hpp"
+#include "predictor/hybrid.hpp"
+#include "predictor/two_level.hpp"
+#include "sim/driver.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "gcc";
+    uint64_t branches = 500000;
+    double threshold = 0.95;
+
+    copra::OptionParser options(
+        "copra hybrid designer: component predictors, realizable "
+        "hybrids, and the oracle-chooser upper bound");
+    options.addString("benchmark", &benchmark, "benchmark name");
+    options.addUint("branches", &branches, "dynamic branches to simulate");
+    options.addDouble("threshold", &threshold,
+                      "bias classification threshold");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    using namespace copra::predictor;
+    auto trace =
+        copra::workload::makeBenchmarkTrace(benchmark, branches, 0);
+    auto gshare_cfg = TwoLevelConfig::gshare(16);
+    auto pas_cfg = TwoLevelConfig::pas(12, 12, 4);
+
+    // Components, with ledgers for the oracle bound.
+    TwoLevel gshare(gshare_cfg);
+    TwoLevel pas(pas_cfg);
+    copra::sim::Ledger gshare_ledger, pas_ledger;
+    auto g_res = copra::sim::run(trace, gshare, &gshare_ledger);
+    auto p_res = copra::sim::run(trace, pas, &pas_ledger);
+
+    // Realizable hybrids.
+    Hybrid tournament(std::make_unique<TwoLevel>(gshare_cfg),
+                      std::make_unique<TwoLevel>(pas_cfg), 12);
+    auto t_res = copra::sim::run(trace, tournament);
+
+    BiasClassifyingHybrid bias_hybrid(
+        BiasClassifyingHybrid::profileTrace(trace, threshold),
+        std::make_unique<Hybrid>(std::make_unique<TwoLevel>(gshare_cfg),
+                                 std::make_unique<TwoLevel>(pas_cfg),
+                                 12));
+    auto b_res = copra::sim::run(trace, bias_hybrid);
+
+    // Oracle bound: per-branch best of the two component ledgers.
+    double oracle =
+        copra::sim::bestOfAccuracyPercent(gshare_ledger, pas_ledger);
+
+    copra::Table table({"scheme", "accuracy %", "of oracle gap closed %"});
+    double base = std::max(g_res.accuracyPercent(),
+                           p_res.accuracyPercent());
+    auto closed = [&](double acc) {
+        if (oracle <= base)
+            return 100.0;
+        return 100.0 * (acc - base) / (oracle - base);
+    };
+    table.row().cell(g_res.predictorName)
+        .cell(g_res.accuracyPercent(), 2).cell("-");
+    table.row().cell(p_res.predictorName)
+        .cell(p_res.accuracyPercent(), 2).cell("-");
+    table.row().cell(t_res.predictorName)
+        .cell(t_res.accuracyPercent(), 2)
+        .cell(closed(t_res.accuracyPercent()), 1);
+    table.row().cell("bias-classified tournament")
+        .cell(b_res.accuracyPercent(), 2)
+        .cell(closed(b_res.accuracyPercent()), 1);
+    table.row().cell("per-branch oracle chooser").cell(oracle, 2)
+        .cell(100.0, 1);
+    table.print(std::cout);
+
+    std::printf("\n%zu of %zu profiled branches are >=%.0f%% biased and "
+                "predicted statically by the classifying hybrid.\n",
+                bias_hybrid.stronglyBiasedBranches(),
+                copra::trace::TraceStats(trace).staticBranches(),
+                100.0 * threshold);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Paper report: every analysis of the paper for a single benchmark, in
+ * one run — the full per-benchmark view the bench/ harnesses aggregate
+ * across the suite. Useful when studying one workload in depth (or one
+ * of your own traces via --load, using the copra binary trace format).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "gcc";
+    std::string load;
+    uint64_t branches = 500000;
+
+    copra::OptionParser options(
+        "copra paper report: all of the paper's analyses for one "
+        "benchmark (or an external trace)");
+    options.addString("benchmark", &benchmark, "benchmark name");
+    options.addString("load", &load,
+                      "binary trace file to analyze instead");
+    options.addUint("branches", &branches, "dynamic branches to simulate");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    copra::core::ExperimentConfig config;
+    config.branches = branches;
+    config.mineConditionals = branches;
+
+    auto experiment = load.empty()
+        ? copra::core::BenchmarkExperiment(benchmark, config)
+        : copra::core::BenchmarkExperiment(copra::trace::loadBinary(load),
+                                           config);
+
+    std::printf("=== copra paper report: %s (%llu branches) ===\n\n",
+                experiment.name().c_str(),
+                static_cast<unsigned long long>(
+                    experiment.trace().conditionalCount()));
+
+    // Fig. 4 / Table 2: correlation.
+    auto fig4 = experiment.fig4Row();
+    auto table2 = experiment.table2Row();
+    copra::Table corr({"metric", "accuracy %"});
+    corr.row().cell("selective history, 1 branch").cell(fig4.selective1, 2);
+    corr.row().cell("selective history, 2 branches").cell(fig4.selective2, 2);
+    corr.row().cell("selective history, 3 branches").cell(fig4.selective3, 2);
+    corr.row().cell("IF gshare (n=16)").cell(fig4.ifGshare, 2);
+    corr.row().cell("gshare").cell(fig4.gshare, 2);
+    corr.row().cell("gshare w/ Corr").cell(table2.gshareWithCorr, 2);
+    corr.row().cell("IF gshare w/ Corr").cell(table2.ifGshareWithCorr, 2);
+    std::printf("-- correlation (paper SS3) --\n");
+    corr.print(std::cout);
+
+    // Fig. 6 / Table 3: per-address predictability.
+    auto fig6 = experiment.fig6Row();
+    auto table3 = experiment.table3Row();
+    std::printf("\n-- per-address predictability (paper SS4) --\n");
+    copra::Table classes({"class", "dynamic %"});
+    static const char *kClassNames[] = {"ideal static", "loop",
+                                        "repeating", "non-repeating"};
+    for (int c = 0; c < 4; ++c) {
+        classes.row().cell(kClassNames[c])
+            .cell(100.0 * fig6.fractions[static_cast<size_t>(c)], 1);
+    }
+    classes.print(std::cout);
+    std::printf("static bucket >99%% biased: %.1f%%\n",
+                100.0 * fig6.staticBiasedFraction);
+    copra::Table pas({"metric", "accuracy %"});
+    pas.row().cell("PAs").cell(table3.pas, 2);
+    pas.row().cell("PAs w/ Loop").cell(table3.pasWithLoop, 2);
+    pas.row().cell("IF PAs").cell(table3.ifPas, 2);
+    pas.row().cell("IF PAs w/ Loop").cell(table3.ifPasWithLoop, 2);
+    pas.print(std::cout);
+
+    // Fig. 7/8/9: global vs per-address.
+    std::printf("\n-- global vs per-address (paper SS5) --\n");
+    auto fig7 = experiment.fig7Split();
+    auto fig8 = experiment.fig8Split();
+    copra::Table splits({"comparison", "A best %", "B best %",
+                         "static best %"});
+    splits.row().cell("A=gshare, B=PAs")
+        .cell(100.0 * fig7.fracA, 1)
+        .cell(100.0 * fig7.fracB, 1)
+        .cell(100.0 * fig7.fracStatic, 1);
+    splits.row().cell("A=global corr, B=PA classes")
+        .cell(100.0 * fig8.fracA, 1)
+        .cell(100.0 * fig8.fracB, 1)
+        .cell(100.0 * fig8.fracStatic, 1);
+    splits.print(std::cout);
+
+    auto wp = experiment.fig9Percentiles();
+    std::printf("gshare - PAs per-branch difference: p5 %.1f  p25 %.1f  "
+                "p50 %.1f  p75 %.1f  p95 %.1f (percentage points)\n",
+                wp.percentile(5), wp.percentile(25), wp.percentile(50),
+                wp.percentile(75), wp.percentile(95));
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace tools: generate, save, load, and summarize copra traces. Shows
+ * the trace I/O API and makes synthetic traces available to external
+ * tools (or external traces available to copra, via the text format).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string generate;
+    std::string load;
+    std::string save;
+    uint64_t branches = 100000;
+    uint64_t seed = 0;
+    bool text = false;
+
+    copra::OptionParser options(
+        "copra trace tools: generate/save/load/summarize branch traces");
+    options.addString("generate", &generate,
+                      "benchmark to generate (empty = none)");
+    options.addString("load", &load, "trace file to load and summarize");
+    options.addString("save", &save, "write the trace to this path");
+    options.addUint("branches", &branches, "branches when generating");
+    options.addUint("seed", &seed, "seed when generating");
+    options.addFlag("text", &text, "use the text format for --save");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    copra::trace::Trace trace;
+    if (!generate.empty()) {
+        trace = copra::workload::makeBenchmarkTrace(generate, branches,
+                                                    seed);
+    } else if (!load.empty()) {
+        trace = copra::trace::loadBinary(load);
+    } else {
+        std::printf("nothing to do: pass --generate <benchmark> or "
+                    "--load <file>\n");
+        return 0;
+    }
+
+    copra::trace::TraceStats stats(trace);
+    std::printf("trace '%s' (seed %llu): %zu records, %llu conditional, "
+                "%zu static branches\n",
+                trace.name().c_str(),
+                static_cast<unsigned long long>(trace.seed()),
+                trace.size(),
+                static_cast<unsigned long long>(stats.dynamicBranches()),
+                stats.staticBranches());
+    std::printf("taken rate %.2f%%, >99%% biased fraction %.2f%%, ideal "
+                "static accuracy %.2f%%\n",
+                100.0 * stats.dynamicTaken() / stats.dynamicBranches(),
+                100.0 * stats.dynamicFractionWithBiasAbove(0.99),
+                100.0 * stats.idealStaticCorrect()
+                    / stats.dynamicBranches());
+
+    copra::Table table({"pc", "execs", "taken %", "bias %"});
+    for (const auto &branch : stats.hottest(10)) {
+        char pc_buf[32];
+        std::snprintf(pc_buf, sizeof(pc_buf), "0x%llx",
+                      static_cast<unsigned long long>(branch.pc));
+        table.row()
+            .cell(std::string(pc_buf))
+            .cell(branch.execs)
+            .cell(100.0 * branch.takenRate(), 2)
+            .cell(100.0 * branch.bias(), 2);
+    }
+    table.print(std::cout);
+
+    if (!save.empty()) {
+        if (text) {
+            std::ofstream os(save);
+            copra::trace::writeText(trace, os);
+        } else {
+            copra::trace::saveBinary(trace, save);
+        }
+        std::printf("saved to %s (%s format)\n", save.c_str(),
+                    text ? "text" : "binary");
+    }
+    return 0;
+}

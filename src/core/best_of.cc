@@ -1,0 +1,93 @@
+#include "core/best_of.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+BestOfSplit
+bestOfSplit(const sim::Ledger &a, const sim::Ledger &b,
+            const sim::Ledger &ideal_static, double bias_threshold)
+{
+    uint64_t total = 0;
+    uint64_t execs_a = 0;
+    uint64_t execs_b = 0;
+    uint64_t execs_static = 0;
+    uint64_t static_biased = 0;
+
+    for (const auto &[pc, ta] : a.table()) {
+        sim::BranchTally tb = b.branch(pc);
+        sim::BranchTally ts = ideal_static.branch(pc);
+        panicIf(tb.execs != ta.execs || ts.execs != ta.execs,
+                "bestOfSplit: ledgers cover different traces");
+        total += ta.execs;
+
+        uint64_t best_dynamic = std::max(ta.correct, tb.correct);
+        if (ts.correct >= best_dynamic) {
+            execs_static += ta.execs;
+            double bias = ta.execs
+                ? static_cast<double>(ts.correct) / ta.execs : 0.0;
+            if (bias > bias_threshold)
+                static_biased += ta.execs;
+        } else if (ta.correct >= tb.correct) {
+            execs_a += ta.execs;
+        } else {
+            execs_b += ta.execs;
+        }
+    }
+
+    BestOfSplit split;
+    if (total == 0)
+        return split;
+    split.fracA = static_cast<double>(execs_a) / total;
+    split.fracB = static_cast<double>(execs_b) / total;
+    split.fracStatic = static_cast<double>(execs_static) / total;
+    split.staticBiasedFraction = execs_static
+        ? static_cast<double>(static_biased) / execs_static : 0.0;
+    return split;
+}
+
+WeightedPercentiles
+accuracyDifference(const sim::Ledger &a, const sim::Ledger &b)
+{
+    WeightedPercentiles percentiles;
+    for (const auto &[pc, ta] : a.table()) {
+        sim::BranchTally tb = b.branch(pc);
+        panicIf(tb.execs != ta.execs,
+                "accuracyDifference: ledgers cover different traces");
+        if (ta.execs == 0)
+            continue;
+        double diff = 100.0 * (ta.accuracy() - tb.accuracy());
+        percentiles.add(diff, ta.execs);
+    }
+    return percentiles;
+}
+
+sim::Ledger
+idealStaticLedger(const sim::Ledger &reference)
+{
+    sim::Ledger out;
+    for (const auto &[pc, tally] : reference.table()) {
+        uint64_t not_taken = tally.execs - tally.taken;
+        uint64_t correct = std::max(tally.taken, not_taken);
+        out.setTally(pc, tally.execs, correct, tally.taken);
+    }
+    return out;
+}
+
+sim::Ledger
+maxLedger(const sim::Ledger &a, const sim::Ledger &b)
+{
+    sim::Ledger out;
+    for (const auto &[pc, ta] : a.table()) {
+        sim::BranchTally tb = b.branch(pc);
+        panicIf(tb.execs != ta.execs,
+                "maxLedger: ledgers cover different traces");
+        out.setTally(pc, ta.execs, std::max(ta.correct, tb.correct),
+                     ta.taken);
+    }
+    return out;
+}
+
+} // namespace copra::core

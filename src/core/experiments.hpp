@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Experiment assembly: everything needed to regenerate the paper's
+ * tables and figures for one benchmark, with shared intermediate results
+ * (trace, ledgers, oracle, classifier) computed lazily and exactly once.
+ * The bench binaries are thin wrappers over this layer.
+ */
+
+#ifndef COPRA_CORE_EXPERIMENTS_HPP
+#define COPRA_CORE_EXPERIMENTS_HPP
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/best_of.hpp"
+#include "core/oracle.hpp"
+#include "core/pa_class.hpp"
+#include "sim/ledger.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace copra::core {
+
+/** Shared parameters of the paper reproduction experiments. */
+struct ExperimentConfig
+{
+    /** Dynamic conditional branches per benchmark trace. */
+    uint64_t branches = 2'000'000;
+
+    /** Workload execution seed (0 = each profile's canonical seed). */
+    uint64_t seed = 0;
+
+    /** History window depth n for correlation experiments. */
+    unsigned historyDepth = 16;
+
+    /** Oracle candidate pool size K. */
+    unsigned candidatePool = 14;
+
+    /** Conditional branches used for candidate mining (0 = all). */
+    uint64_t mineConditionals = 1'000'000;
+
+    /** gshare and IF-gshare history length. */
+    unsigned gshareHistory = 16;
+
+    /** PAs geometry. */
+    unsigned pasHistory = 12;
+    unsigned pasBhtBits = 12;
+    unsigned pasSelectBits = 4;
+
+    /** IF-PAs history length. */
+    unsigned ifPasHistory = 12;
+};
+
+/** Fig. 4 row: selective history vs gshare and IF gshare. */
+struct Fig4Row
+{
+    std::string name;
+    double selective1 = 0.0;
+    double selective2 = 0.0;
+    double selective3 = 0.0;
+    double ifGshare = 0.0;
+    double gshare = 0.0;
+};
+
+/** Table 2 row: correlation gshare fails to exploit. */
+struct Table2Row
+{
+    std::string name;
+    double gshare = 0.0;
+    double gshareWithCorr = 0.0;
+    double ifGshare = 0.0;
+    double ifGshareWithCorr = 0.0;
+};
+
+/** Fig. 6 row: per-address class distribution. */
+struct Fig6Row
+{
+    std::string name;
+    std::array<double, 4> fractions{}; //!< indexed by PaClass
+    double staticBiasedFraction = 0.0;
+};
+
+/** Table 3 row: loop predictability PAs fails to exploit. */
+struct Table3Row
+{
+    std::string name;
+    double pas = 0.0;
+    double pasWithLoop = 0.0;
+    double ifPas = 0.0;
+    double ifPasWithLoop = 0.0;
+};
+
+/**
+ * All shared state for one benchmark's experiments. Construction only
+ * generates the trace; each product is computed on first use.
+ */
+class BenchmarkExperiment
+{
+  public:
+    /**
+     * @param name One of workload::benchmarkNames().
+     * @param config Experiment parameters.
+     */
+    BenchmarkExperiment(const std::string &name,
+                        const ExperimentConfig &config);
+
+    /** Construct over an externally supplied trace (tests, file input). */
+    BenchmarkExperiment(trace::Trace trace, const ExperimentConfig &config);
+
+    const std::string &name() const { return name_; }
+    const ExperimentConfig &config() const { return config_; }
+    const trace::Trace &trace() const { return trace_; }
+
+    /** Population statistics of the trace. */
+    const trace::TraceStats &stats();
+
+    /** gshare run (per-branch ledger). */
+    const sim::Ledger &gshareLedger();
+
+    /** PAs run. */
+    const sim::Ledger &pasLedger();
+
+    /** Interference-free gshare run. */
+    const sim::Ledger &ifGshareLedger();
+
+    /** Ideal static predictor (majority direction per branch). */
+    const sim::Ledger &idealStaticLedgerRef();
+
+    /** Selective-history oracle (sizes 1..3). */
+    const SelectiveOracle &oracle();
+
+    /** Per-address classification (loop / repeating / non-repeating). */
+    const PaClassifier &classifier();
+
+    // --- Row producers, one per paper artifact ------------------------
+    Fig4Row fig4Row();
+    Table2Row table2Row();
+    Fig6Row fig6Row();
+    Table3Row table3Row();
+
+    /** Fig. 7: best of {gshare, PAs, ideal static}. */
+    BestOfSplit fig7Split();
+
+    /** Fig. 8: best of {global correlation, per-address, ideal static}. */
+    BestOfSplit fig8Split();
+
+    /** Fig. 9: percentile curve of gshare - PAs accuracy difference. */
+    WeightedPercentiles fig9Percentiles();
+
+  private:
+    std::string name_;
+    ExperimentConfig config_;
+    trace::Trace trace_;
+
+    std::optional<trace::TraceStats> stats_;
+    std::optional<sim::Ledger> gshare_;
+    std::optional<sim::Ledger> pas_;
+    std::optional<sim::Ledger> ifGshare_;
+    std::optional<sim::Ledger> idealStatic_;
+    std::unique_ptr<SelectiveOracle> oracle_;
+    std::unique_ptr<PaClassifier> classifier_;
+};
+
+/**
+ * Fig. 5 series: 3-branch selective history accuracy as a function of
+ * history depth, for depths @p depths (the paper uses 8..32 step 4).
+ * Each depth runs a fresh oracle over the same trace.
+ */
+std::vector<std::pair<unsigned, double>> fig5Series(
+    const trace::Trace &trace, const ExperimentConfig &config,
+    const std::vector<unsigned> &depths);
+
+/** Build the trace for a named benchmark under @p config. */
+trace::Trace makeExperimentTrace(const std::string &name,
+                                 const ExperimentConfig &config);
+
+} // namespace copra::core
+
+#endif // COPRA_CORE_EXPERIMENTS_HPP

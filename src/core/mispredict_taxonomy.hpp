@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Misprediction taxonomy for gshare-style predictors.
+ *
+ * The paper attributes gshare's gap to its interference-free variant to
+ * two causes — PHT interference and training time (§3.6.3) — without
+ * separating them per misprediction. This analysis runs a gshare while
+ * shadowing every PHT counter with provenance, classifying each
+ * misprediction as:
+ *
+ *  - Cold: the counter was never written before this access.
+ *  - Interference: the counter was last written by a *different*
+ *    (pc, history) context (an alias disturbed it).
+ *  - Training: the counter belongs to this very context but has not yet
+ *    converged to the outcome (warm-up / hysteresis on a changed
+ *    behaviour).
+ *  - Noise: the counter is owned by this context, fully trained toward
+ *    the context's majority direction — the branch simply deviated
+ *    (intrinsically unpredictable residue).
+ */
+
+#ifndef COPRA_CORE_MISPREDICT_TAXONOMY_HPP
+#define COPRA_CORE_MISPREDICT_TAXONOMY_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace copra::core {
+
+/** Misprediction causes, in classification priority order. */
+enum class MispredictCause : uint8_t
+{
+    Cold = 0,         //!< counter never trained
+    Interference = 1, //!< counter last touched by another context
+    Training = 2,     //!< own context, not yet converged
+    Noise = 3,        //!< trained and owned: inherent unpredictability
+};
+
+/** Display name of a cause. */
+const char *mispredictCauseName(MispredictCause cause);
+
+/** Result of a taxonomy run. */
+struct MispredictBreakdown
+{
+    uint64_t dynamicBranches = 0;
+    uint64_t correct = 0;
+    std::array<uint64_t, 4> byCause{}; //!< indexed by MispredictCause
+
+    uint64_t
+    mispredicts() const
+    {
+        return dynamicBranches - correct;
+    }
+
+    double
+    accuracyPercent() const
+    {
+        if (dynamicBranches == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(correct)
+            / static_cast<double>(dynamicBranches);
+    }
+
+    /** Fraction of all mispredictions attributed to @p cause. */
+    double
+    causeFraction(MispredictCause cause) const
+    {
+        uint64_t total = mispredicts();
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(
+                   byCause[static_cast<size_t>(cause)]) /
+            static_cast<double>(total);
+    }
+};
+
+/**
+ * Run a gshare of the given geometry over @p trace with per-counter
+ * provenance shadowing and classify every misprediction.
+ *
+ * @param history_bits gshare history length (PHT has 2^history_bits
+ *        counters, the paper's geometry).
+ */
+MispredictBreakdown classifyMispredicts(const trace::Trace &trace,
+                                        unsigned history_bits = 16);
+
+} // namespace copra::core
+
+#endif // COPRA_CORE_MISPREDICT_TAXONOMY_HPP

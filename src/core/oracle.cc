@@ -1,0 +1,272 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+namespace {
+
+/** Outcome bit position in a packed row. */
+constexpr unsigned kOutcomeBit = 31;
+
+/** Extract candidate @p i's 3-valued state from a packed row. */
+inline unsigned
+stateBits(uint32_t row, unsigned i)
+{
+    return (row >> (2 * i)) & 0x3u;
+}
+
+} // namespace
+
+SelectiveOracle::SelectiveOracle(const trace::Trace &trace,
+                                 const OracleConfig &config)
+    : config_(config)
+{
+    fatalIf(config.candidatePool == 0 || config.candidatePool > 15,
+            "oracle candidate pool must be in 1..15 (packing limit)");
+    fatalIf(config.maxSelect == 0 || config.maxSelect > 3,
+            "oracle maxSelect must be in 1..3");
+    fatalIf(config.historyDepth == 0 || config.historyDepth > 64,
+            "oracle history depth must be in 1..64");
+
+    CandidateMiner miner(config.historyDepth, config.perBranchTagCap);
+    miner.mine(trace, config.mineConditionals);
+    record(trace, miner);
+    select();
+}
+
+void
+SelectiveOracle::record(const trace::Trace &trace,
+                        const CandidateMiner &miner)
+{
+    HistoryWindow window(config_.historyDepth);
+    std::vector<TagState> collected;
+
+    for (const auto &rec : trace.records()) {
+        if (!rec.isConditional()) {
+            window.push(rec);
+            continue;
+        }
+
+        auto data_it = data_.find(rec.pc);
+        if (data_it == data_.end()) {
+            BranchData fresh;
+            // Over-fetch so a method filter still fills the pool.
+            for (const ScoredCandidate &cand :
+                 miner.topCandidates(rec.pc, 2 * config_.candidatePool)) {
+                bool is_occurrence =
+                    cand.tag.method() == TagMethod::Occurrence;
+                if (config_.tagFilter ==
+                        OracleConfig::TagFilter::OccurrenceOnly &&
+                    !is_occurrence)
+                    continue;
+                if (config_.tagFilter ==
+                        OracleConfig::TagFilter::BackwardOnly &&
+                    is_occurrence)
+                    continue;
+                fresh.candidates.push_back(cand.tag);
+                if (fresh.candidates.size() >= config_.candidatePool)
+                    break;
+            }
+            data_it = data_.emplace(rec.pc, std::move(fresh)).first;
+        }
+        BranchData &data = data_it->second;
+
+        BranchSelection &sel = branches_[rec.pc];
+        sel.pc = rec.pc;
+        ++sel.execs;
+        if (rec.taken)
+            ++sel.taken;
+
+        window.collect(collected);
+        uint32_t row = rec.taken ? (1u << kOutcomeBit) : 0u;
+        for (unsigned i = 0; i < data.candidates.size(); ++i) {
+            TagOutcome state = stateOf(collected, data.candidates[i]);
+            row |= static_cast<uint32_t>(state) << (2 * i);
+        }
+        data.rows.push_back(row);
+
+        window.push(rec);
+    }
+}
+
+uint64_t
+SelectiveOracle::replayScore(const std::vector<uint32_t> &rows,
+                             const std::vector<unsigned> &subset)
+{
+    panicIf(subset.size() > 8, "replayScore subset too large");
+    uint32_t table_size = pow3(static_cast<unsigned>(subset.size()));
+    // 2-bit counters initialized weakly-not-taken, matching Counter2.
+    std::array<uint8_t, pow3(8)> counters;
+    std::fill(counters.begin(), counters.begin() + table_size, 1);
+
+    uint64_t correct = 0;
+    for (uint32_t row : rows) {
+        uint32_t pattern = 0;
+        uint32_t radix = 1;
+        for (unsigned idx : subset) {
+            pattern += stateBits(row, idx) * radix;
+            radix *= 3;
+        }
+        uint8_t &counter = counters[pattern];
+        bool taken = (row >> kOutcomeBit) & 1u;
+        bool predicted = counter >= 2;
+        if (predicted == taken)
+            ++correct;
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    }
+    return correct;
+}
+
+void
+SelectiveOracle::selectGreedy(const BranchData &data,
+                              BranchSelection &out) const
+{
+    std::vector<unsigned> chosen;
+    uint64_t last_score = replayScore(data.rows, chosen);
+
+    for (unsigned size = 1; size <= config_.maxSelect; ++size) {
+        unsigned best_candidate = UINT32_MAX;
+        uint64_t best_score = 0;
+        for (unsigned c = 0; c < data.candidates.size(); ++c) {
+            if (std::find(chosen.begin(), chosen.end(), c) != chosen.end())
+                continue;
+            std::vector<unsigned> trial = chosen;
+            trial.push_back(c);
+            uint64_t score = replayScore(data.rows, trial);
+            if (best_candidate == UINT32_MAX || score > best_score) {
+                best_candidate = c;
+                best_score = score;
+            }
+        }
+        if (best_candidate != UINT32_MAX) {
+            chosen.push_back(best_candidate);
+            last_score = best_score;
+        }
+        // When candidates run out, larger sizes inherit the best smaller
+        // set (there is nothing more to include in the history).
+        out.correct[size - 1] = last_score;
+        out.chosen[size - 1].clear();
+        for (unsigned idx : chosen)
+            out.chosen[size - 1].push_back(data.candidates[idx]);
+    }
+}
+
+void
+SelectiveOracle::selectExhaustive(const BranchData &data,
+                                  BranchSelection &out) const
+{
+    unsigned n = static_cast<unsigned>(data.candidates.size());
+    uint64_t empty_score = replayScore(data.rows, {});
+
+    for (unsigned size = 1; size <= config_.maxSelect; ++size) {
+        uint64_t best_score = 0;
+        std::vector<unsigned> best_set;
+        bool any = false;
+
+        // Enumerate all subsets of exactly min(size, n) candidates.
+        unsigned take = std::min(size, n);
+        if (take == 0) {
+            out.correct[size - 1] = empty_score;
+            out.chosen[size - 1].clear();
+            continue;
+        }
+        std::vector<unsigned> idx(take);
+        for (unsigned i = 0; i < take; ++i)
+            idx[i] = i;
+        while (true) {
+            uint64_t score = replayScore(data.rows, idx);
+            if (!any || score > best_score) {
+                any = true;
+                best_score = score;
+                best_set = idx;
+            }
+            // Next combination.
+            int pos = static_cast<int>(take) - 1;
+            while (pos >= 0 && idx[static_cast<unsigned>(pos)] ==
+                   n - take + static_cast<unsigned>(pos))
+                --pos;
+            if (pos < 0)
+                break;
+            ++idx[static_cast<unsigned>(pos)];
+            for (unsigned i = static_cast<unsigned>(pos) + 1; i < take; ++i)
+                idx[i] = idx[i - 1] + 1;
+        }
+
+        out.correct[size - 1] = best_score;
+        out.chosen[size - 1].clear();
+        for (unsigned i : best_set)
+            out.chosen[size - 1].push_back(data.candidates[i]);
+    }
+}
+
+void
+SelectiveOracle::select()
+{
+    for (auto &[pc, sel] : branches_) {
+        const BranchData &data = data_.at(pc);
+        if (config_.exhaustive)
+            selectExhaustive(data, sel);
+        else
+            selectGreedy(data, sel);
+    }
+}
+
+const BranchSelection *
+SelectiveOracle::branch(uint64_t pc) const
+{
+    auto it = branches_.find(pc);
+    return it == branches_.end() ? nullptr : &it->second;
+}
+
+double
+SelectiveOracle::accuracyPercent(unsigned size) const
+{
+    panicIf(size == 0 || size > config_.maxSelect,
+            "selective size out of range");
+    uint64_t execs = 0;
+    uint64_t correct = 0;
+    for (const auto &[pc, sel] : branches_) {
+        execs += sel.execs;
+        correct += sel.correct[size - 1];
+    }
+    if (execs == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(correct)
+        / static_cast<double>(execs);
+}
+
+sim::Ledger
+SelectiveOracle::toLedger(unsigned size) const
+{
+    panicIf(size == 0 || size > config_.maxSelect,
+            "selective size out of range");
+    sim::Ledger ledger;
+    for (const auto &[pc, sel] : branches_)
+        ledger.setTally(pc, sel.execs, sel.correct[size - 1], sel.taken);
+    return ledger;
+}
+
+std::unordered_map<uint64_t, std::vector<Tag>>
+SelectiveOracle::selectionMap(unsigned size) const
+{
+    panicIf(size == 0 || size > config_.maxSelect,
+            "selective size out of range");
+    std::unordered_map<uint64_t, std::vector<Tag>> out;
+    for (const auto &[pc, sel] : branches_) {
+        const auto &tags = sel.chosen[size - 1];
+        if (!tags.empty())
+            out.emplace(pc, tags);
+    }
+    return out;
+}
+
+} // namespace copra::core

@@ -1,0 +1,171 @@
+#include "core/pa_class.hpp"
+
+#include "predictor/block_pattern.hpp"
+#include "predictor/fixed_pattern.hpp"
+#include "predictor/interference_free.hpp"
+#include "predictor/loop_predictor.hpp"
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+const char *
+paClassName(PaClass cls)
+{
+    switch (cls) {
+      case PaClass::IdealStatic:
+        return "ideal-static";
+      case PaClass::Loop:
+        return "loop";
+      case PaClass::Repeating:
+        return "repeating";
+      case PaClass::NonRepeating:
+        return "non-repeating";
+    }
+    return "unknown";
+}
+
+PaClassifier::PaClassifier(const trace::Trace &trace, unsigned ifpas_history)
+    : ifPasHistory_(ifpas_history)
+{
+    predictor::LoopPredictor loop;
+    predictor::BlockPatternPredictor block;
+    predictor::FixedPatternBank fixed;
+    predictor::IfPas ifpas(ifpas_history);
+
+    for (const auto &rec : trace.records()) {
+        if (!rec.isConditional())
+            continue;
+        PaBranchResult &res = table_[rec.pc];
+        res.pc = rec.pc;
+        ++res.execs;
+        if (rec.taken)
+            ++res.taken;
+
+        if (loop.predict(rec) == rec.taken)
+            ++res.loopCorrect;
+        loop.update(rec, rec.taken);
+
+        if (block.predict(rec) == rec.taken)
+            ++res.blockCorrect;
+        block.update(rec, rec.taken);
+
+        if (ifpas.predict(rec) == rec.taken)
+            ++res.ifPasCorrect;
+        ifpas.update(rec, rec.taken);
+
+        fixed.observe(rec.pc, rec.taken);
+    }
+
+    for (auto &[pc, res] : table_) {
+        res.fixedCorrect = fixed.bestCorrect(pc);
+        res.bestFixedK = fixed.bestK(pc);
+        uint64_t not_taken = res.execs - res.taken;
+        res.staticCorrect = res.taken > not_taken ? res.taken : not_taken;
+
+        // Classify: ideal static wins ties; then loop > repeating >
+        // non-repeating.
+        if (res.staticCorrect >= res.bestDynamicCorrect()) {
+            res.cls = PaClass::IdealStatic;
+        } else if (res.loopCorrect >= res.repeatingCorrect() &&
+                   res.loopCorrect >= res.ifPasCorrect) {
+            res.cls = PaClass::Loop;
+        } else if (res.repeatingCorrect() >= res.ifPasCorrect) {
+            res.cls = PaClass::Repeating;
+        } else {
+            res.cls = PaClass::NonRepeating;
+        }
+    }
+}
+
+const PaBranchResult *
+PaClassifier::branch(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+std::array<double, 4>
+PaClassifier::classFractions() const
+{
+    std::array<uint64_t, 4> execs{};
+    uint64_t total = 0;
+    for (const auto &[pc, res] : table_) {
+        execs[static_cast<size_t>(res.cls)] += res.execs;
+        total += res.execs;
+    }
+    std::array<double, 4> fractions{};
+    if (total == 0)
+        return fractions;
+    for (size_t i = 0; i < 4; ++i)
+        fractions[i] = static_cast<double>(execs[i])
+            / static_cast<double>(total);
+    return fractions;
+}
+
+double
+PaClassifier::staticBucketBiasFraction(double threshold) const
+{
+    uint64_t bucket = 0;
+    uint64_t biased = 0;
+    for (const auto &[pc, res] : table_) {
+        if (res.cls != PaClass::IdealStatic)
+            continue;
+        bucket += res.execs;
+        double bias = res.execs
+            ? static_cast<double>(res.staticCorrect) / res.execs : 0.0;
+        if (bias > threshold)
+            biased += res.execs;
+    }
+    if (bucket == 0)
+        return 0.0;
+    return static_cast<double>(biased) / static_cast<double>(bucket);
+}
+
+sim::Ledger
+PaClassifier::loopLedger() const
+{
+    sim::Ledger ledger;
+    for (const auto &[pc, res] : table_)
+        ledger.setTally(pc, res.execs, res.loopCorrect, res.taken);
+    return ledger;
+}
+
+sim::Ledger
+PaClassifier::ifPasLedger() const
+{
+    sim::Ledger ledger;
+    for (const auto &[pc, res] : table_)
+        ledger.setTally(pc, res.execs, res.ifPasCorrect, res.taken);
+    return ledger;
+}
+
+sim::Ledger
+PaClassifier::bestPaLedger() const
+{
+    sim::Ledger ledger;
+    for (const auto &[pc, res] : table_)
+        ledger.setTally(pc, res.execs, res.bestDynamicCorrect(), res.taken);
+    return ledger;
+}
+
+double
+PaClassifier::loopEnhancedAccuracyPercent(const sim::Ledger &base) const
+{
+    uint64_t total = 0;
+    uint64_t correct = 0;
+    for (const auto &[pc, res] : table_) {
+        sim::BranchTally tally = base.branch(pc);
+        panicIf(tally.execs != res.execs,
+                "loopEnhancedAccuracyPercent: base ledger covers a "
+                "different trace");
+        total += res.execs;
+        correct += res.cls == PaClass::Loop ? res.loopCorrect
+                                            : tally.correct;
+    }
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(correct)
+        / static_cast<double>(total);
+}
+
+} // namespace copra::core

@@ -1,0 +1,124 @@
+#include "core/selective.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+TagOutcome
+stateOf(const std::vector<TagState> &collected, const Tag &tag)
+{
+    for (const TagState &ts : collected)
+        if (ts.tag == tag)
+            return ts.taken ? TagOutcome::Taken : TagOutcome::NotTaken;
+    return TagOutcome::NotInPath;
+}
+
+SelectiveTable::SelectiveTable(unsigned arity)
+    : arity_(arity)
+{
+    panicIf(arity == 0 || arity > 8, "selective table arity must be 1..8");
+    counters_.assign(pow3(arity), Counter2{});
+}
+
+uint32_t
+SelectiveTable::patternOf(const TagOutcome *states, unsigned arity)
+{
+    uint32_t pattern = 0;
+    uint32_t radix = 1;
+    for (unsigned i = 0; i < arity; ++i) {
+        pattern += static_cast<uint32_t>(states[i]) * radix;
+        radix *= 3;
+    }
+    return pattern;
+}
+
+bool
+SelectiveTable::predict(uint32_t pattern) const
+{
+    panicIf(pattern >= counters_.size(), "selective pattern out of range");
+    return counters_[pattern].taken();
+}
+
+void
+SelectiveTable::update(uint32_t pattern, bool taken)
+{
+    panicIf(pattern >= counters_.size(), "selective pattern out of range");
+    counters_[pattern].update(taken);
+}
+
+SelectivePredictor::SelectivePredictor(
+    std::unordered_map<uint64_t, std::vector<Tag>> selections,
+    unsigned depth)
+    : selections_(std::move(selections)), depth_(depth), window_(depth)
+{
+    for (const auto &[pc, tags] : selections_) {
+        panicIf(tags.empty() || tags.size() > 8,
+                "selective predictor selections must have 1..8 tags");
+    }
+}
+
+uint32_t
+SelectivePredictor::currentPattern(uint64_t pc)
+{
+    auto sel = selections_.find(pc);
+    if (sel == selections_.end())
+        return 0; // degenerate m = 0: single counter
+    window_.collect(scratch_);
+    TagOutcome states[8];
+    unsigned arity = static_cast<unsigned>(sel->second.size());
+    for (unsigned i = 0; i < arity; ++i)
+        states[i] = stateOf(scratch_, sel->second[i]);
+    return SelectiveTable::patternOf(states, arity);
+}
+
+bool
+SelectivePredictor::predict(const trace::BranchRecord &br)
+{
+    auto sel = selections_.find(br.pc);
+    unsigned arity = sel == selections_.end()
+        ? 1 : static_cast<unsigned>(sel->second.size());
+    auto table = tables_.find(br.pc);
+    if (table == tables_.end())
+        return Counter2{}.taken();
+    uint32_t pattern = sel == selections_.end()
+        ? 0 : currentPattern(br.pc);
+    // Tables are created on first update with the branch's arity; the
+    // arity can never change afterwards.
+    panicIf(table->second.arity() != arity,
+            "selective predictor arity changed");
+    return table->second.predict(pattern);
+}
+
+void
+SelectivePredictor::update(const trace::BranchRecord &br, bool taken)
+{
+    auto sel = selections_.find(br.pc);
+    unsigned arity = sel == selections_.end()
+        ? 1 : static_cast<unsigned>(sel->second.size());
+    uint32_t pattern = sel == selections_.end()
+        ? 0 : currentPattern(br.pc);
+    auto [it, inserted] = tables_.try_emplace(br.pc, arity);
+    it->second.update(pattern, taken);
+    window_.push(br);
+}
+
+void
+SelectivePredictor::observe(const trace::BranchRecord &br)
+{
+    window_.push(br);
+}
+
+void
+SelectivePredictor::reset()
+{
+    window_.clear();
+    tables_.clear();
+}
+
+std::string
+SelectivePredictor::name() const
+{
+    return "selective(n=" + std::to_string(depth_) + ")";
+}
+
+} // namespace copra::core

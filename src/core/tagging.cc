@@ -1,0 +1,92 @@
+#include "core/tagging.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+HistoryWindow::HistoryWindow(unsigned depth)
+    : depth_(depth)
+{
+    panicIf(depth == 0 || depth > 64, "history window depth must be 1..64");
+    ring_.resize(depth);
+}
+
+void
+HistoryWindow::push(const trace::BranchRecord &rec)
+{
+    switch (rec.kind) {
+      case trace::BranchKind::Conditional:
+        ring_[head_] = {rec.pc, backwardEpoch_, rec.taken};
+        head_ = (head_ + 1) % depth_;
+        if (count_ < depth_)
+            ++count_;
+        if (rec.taken && rec.isBackward())
+            ++backwardEpoch_;
+        break;
+      case trace::BranchKind::Jump:
+        if (rec.isBackward())
+            ++backwardEpoch_;
+        break;
+      case trace::BranchKind::Call:
+      case trace::BranchKind::Return:
+        // Calls and returns are not iteration boundaries.
+        break;
+    }
+}
+
+void
+HistoryWindow::collect(std::vector<TagState> &out) const
+{
+    out.clear();
+    if (count_ == 0)
+        return;
+    out.reserve(2 * count_);
+
+    // Newest-first walk of the ring. For method A, the occurrence index
+    // of an entry is how many newer entries share its pc. For method B,
+    // the instance number is the backward-transfer count since the entry
+    // executed; only the newest entry per (pc, num) is reported.
+    for (unsigned i = 0; i < count_; ++i) {
+        unsigned slot = (head_ + depth_ - 1 - i) % depth_;
+        const Entry &entry = ring_[slot];
+
+        unsigned occurrence = 0;
+        for (unsigned j = 0; j < i; ++j) {
+            unsigned newer = (head_ + depth_ - 1 - j) % depth_;
+            if (ring_[newer].pc == entry.pc)
+                ++occurrence;
+        }
+        if (occurrence <= 0xff) {
+            out.push_back({Tag(entry.pc, TagMethod::Occurrence,
+                               static_cast<uint8_t>(occurrence)),
+                           entry.taken});
+        }
+
+        uint64_t back = backwardEpoch_ - entry.epoch;
+        if (back <= 0xff) {
+            Tag tag_b(entry.pc, TagMethod::BackwardCount,
+                      static_cast<uint8_t>(back));
+            // Deduplicate method-B tags, keeping the most recent (the
+            // first produced in this newest-first walk).
+            bool duplicate = false;
+            for (const TagState &prior : out) {
+                if (prior.tag == tag_b) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (!duplicate)
+                out.push_back({tag_b, entry.taken});
+        }
+    }
+}
+
+void
+HistoryWindow::clear()
+{
+    count_ = 0;
+    head_ = 0;
+    backwardEpoch_ = 0;
+}
+
+} // namespace copra::core

@@ -1,0 +1,46 @@
+#include "predictor/bimodal.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+Bimodal::Bimodal(unsigned table_bits)
+    : tableBits_(table_bits)
+{
+    fatalIf(table_bits == 0 || table_bits > 30,
+            "bimodal table bits must be in 1..30");
+    table_.assign(size_t(1) << table_bits, Counter2{});
+}
+
+size_t
+Bimodal::indexOf(uint64_t pc) const
+{
+    // Branches are word aligned; drop the low two bits before indexing.
+    return (pc >> 2) & ((size_t(1) << tableBits_) - 1);
+}
+
+bool
+Bimodal::predict(const trace::BranchRecord &br)
+{
+    return table_[indexOf(br.pc)].taken();
+}
+
+void
+Bimodal::update(const trace::BranchRecord &br, bool taken)
+{
+    table_[indexOf(br.pc)].update(taken);
+}
+
+void
+Bimodal::reset()
+{
+    std::fill(table_.begin(), table_.end(), Counter2{});
+}
+
+std::string
+Bimodal::name() const
+{
+    return "bimodal(" + std::to_string(tableBits_) + "b)";
+}
+
+} // namespace copra::predictor

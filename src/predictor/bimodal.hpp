@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bimodal predictor (Smith, 1981): a table of 2-bit saturating counters
+ * indexed by branch address.
+ */
+
+#ifndef COPRA_PREDICTOR_BIMODAL_HPP
+#define COPRA_PREDICTOR_BIMODAL_HPP
+
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "util/sat_counter.hpp"
+
+namespace copra::predictor {
+
+/**
+ * A direct-mapped table of 2^tableBits two-bit counters indexed by the
+ * branch address. Aliasing between branches mapping to the same counter
+ * is real, as in hardware.
+ */
+class Bimodal : public Predictor
+{
+  public:
+    /** @param table_bits log2 of the number of counters (1..30). */
+    explicit Bimodal(unsigned table_bits = 12);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Number of counters in the table. */
+    size_t tableSize() const { return table_.size(); }
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+
+    unsigned tableBits_;
+    std::vector<Counter2> table_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_BIMODAL_HPP

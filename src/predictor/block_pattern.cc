@@ -1,0 +1,58 @@
+#include "predictor/block_pattern.hpp"
+
+namespace copra::predictor {
+
+BlockState
+BlockPatternPredictor::state(uint64_t pc) const
+{
+    const BlockState *st = table_.find(pc);
+    return st ? *st : BlockState{};
+}
+
+bool
+BlockPatternPredictor::predict(const trace::BranchRecord &br)
+{
+    const BlockState *st = table_.find(br.pc);
+    if (st == nullptr || !st->seen)
+        return true; // cold: default taken
+    // Continue the current block until it reaches the length of the last
+    // completed block in the same direction, then switch.
+    return st->curRun < st->lastRun[st->curDir ? 1 : 0] ? st->curDir
+                                                        : !st->curDir;
+}
+
+void
+BlockPatternPredictor::update(const trace::BranchRecord &br, bool taken)
+{
+    BlockState &st = table_.access(br.pc);
+    if (!st.seen) {
+        st.seen = true;
+        st.curDir = taken;
+        st.curRun = 1;
+        return;
+    }
+    if (taken == st.curDir) {
+        if (st.curRun < kMaxRun)
+            ++st.curRun;
+    } else {
+        st.lastRun[st.curDir ? 1 : 0] = st.curRun;
+        st.curDir = taken;
+        st.curRun = 1;
+    }
+}
+
+void
+BlockPatternPredictor::reset()
+{
+    table_.clear();
+}
+
+std::string
+BlockPatternPredictor::name() const
+{
+    if (table_.config().isPerfect())
+        return "block-pattern";
+    return "block-pattern(btb=" + table_.config().describe() + ")";
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Block-pattern predictor (paper §4.1.2): captures branches that are
+ * taken n times, then not-taken m times, then taken n times, and so on.
+ *
+ * After the n-th consecutive taken outcome it predicts not-taken for the
+ * previous not-taken block length m, and symmetrically for taken blocks.
+ * Counts are kept per branch in a BTB (perfect by default, finite for
+ * the capacity ablation), saturating at 255, as the paper assumes
+ * (n < 256, m < 256).
+ */
+
+#ifndef COPRA_PREDICTOR_BLOCK_PATTERN_HPP
+#define COPRA_PREDICTOR_BLOCK_PATTERN_HPP
+
+#include "predictor/btb.hpp"
+#include "predictor/predictor.hpp"
+
+namespace copra::predictor {
+
+/** Per-branch block tracking state (exposed for tests). */
+struct BlockState
+{
+    bool seen = false;
+    bool curDir = true;     //!< direction of the in-progress block
+    uint8_t curRun = 0;     //!< length of the in-progress block so far
+    uint8_t lastRun[2] = {255, 255}; //!< last completed block length per
+                                     //!< direction, [0]=not-taken [1]=taken
+};
+
+/** The paper's block-pattern class predictor. */
+class BlockPatternPredictor : public Predictor
+{
+  public:
+    /** @param btb BTB geometry; perfect (the paper's setup) by default. */
+    explicit BlockPatternPredictor(
+        const BtbConfig &btb = BtbConfig::perfect())
+        : table_(btb)
+    {
+    }
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Current state for @p pc (default state if absent). */
+    BlockState state(uint64_t pc) const;
+
+    /** BTB evictions suffered (0 with a perfect BTB). */
+    uint64_t btbEvictions() const { return table_.evictions(); }
+
+  private:
+    static constexpr uint8_t kMaxRun = 255;
+
+    BtbTable<BlockState> table_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_BLOCK_PATTERN_HPP

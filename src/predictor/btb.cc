@@ -1,0 +1,14 @@
+#include "predictor/btb.hpp"
+
+namespace copra::predictor {
+
+std::string
+BtbConfig::describe() const
+{
+    if (isPerfect())
+        return "perfect";
+    return std::to_string(size_t(1) << setBits) + "x" +
+        std::to_string(ways);
+}
+
+} // namespace copra::predictor

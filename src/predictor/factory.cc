@@ -1,0 +1,168 @@
+#include "predictor/factory.hpp"
+
+#include <unordered_map>
+
+#include "predictor/bimodal.hpp"
+#include "predictor/block_pattern.hpp"
+#include "predictor/fixed_pattern.hpp"
+#include "predictor/gskewed.hpp"
+#include "predictor/hybrid.hpp"
+#include "predictor/interference_free.hpp"
+#include "predictor/loop_predictor.hpp"
+#include "predictor/path_based.hpp"
+#include "predictor/static_pred.hpp"
+#include "predictor/two_level.hpp"
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+namespace {
+
+struct Spec
+{
+    std::string name;
+    std::unordered_map<std::string, std::string> params;
+};
+
+Spec
+parseSpec(const std::string &text)
+{
+    Spec spec;
+    auto colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (colon == std::string::npos)
+        return spec;
+    std::string rest = text.substr(colon + 1);
+    size_t pos = 0;
+    while (pos < rest.size()) {
+        size_t comma = rest.find(',', pos);
+        std::string item = rest.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("malformed predictor parameter '" + item + "' in '" +
+                  text + "'");
+        spec.params[item.substr(0, eq)] = item.substr(eq + 1);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return spec;
+}
+
+unsigned
+getUnsigned(const Spec &spec, const std::string &key, unsigned fallback)
+{
+    auto it = spec.params.find(key);
+    if (it == spec.params.end())
+        return fallback;
+    try {
+        return static_cast<unsigned>(std::stoul(it->second));
+    } catch (const std::exception &) {
+        fatal("predictor parameter " + key + "='" + it->second +
+              "' is not a number");
+    }
+}
+
+std::string
+getString(const Spec &spec, const std::string &key,
+          const std::string &fallback)
+{
+    auto it = spec.params.find(key);
+    return it == spec.params.end() ? fallback : it->second;
+}
+
+/** Inner hybrid component specs use '.' where a top-level spec uses ':'
+ * and ';' where it uses ',', so they survive the outer parse. */
+std::string
+decodeInner(std::string text)
+{
+    for (char &ch : text) {
+        if (ch == '.')
+            ch = ':';
+        else if (ch == ';')
+            ch = ',';
+    }
+    return text;
+}
+
+} // namespace
+
+PredictorPtr
+makePredictor(const std::string &text)
+{
+    Spec spec = parseSpec(text);
+    const std::string &name = spec.name;
+
+    if (name == "taken")
+        return std::make_unique<AlwaysTaken>();
+    if (name == "nottaken")
+        return std::make_unique<AlwaysNotTaken>();
+    if (name == "btfnt")
+        return std::make_unique<Btfnt>();
+    if (name == "bimodal")
+        return std::make_unique<Bimodal>(getUnsigned(spec, "bits", 12));
+    if (name == "gshare") {
+        auto config = TwoLevelConfig::gshare(getUnsigned(spec, "h", 16));
+        config.counterBits = getUnsigned(spec, "cbits", 2);
+        return std::make_unique<TwoLevel>(config);
+    }
+    if (name == "gag") {
+        return std::make_unique<TwoLevel>(
+            TwoLevelConfig::gag(getUnsigned(spec, "h", 16)));
+    }
+    if (name == "gas") {
+        return std::make_unique<TwoLevel>(TwoLevelConfig::gas(
+            getUnsigned(spec, "h", 12), getUnsigned(spec, "s", 4)));
+    }
+    if (name == "pas") {
+        auto config = TwoLevelConfig::pas(
+            getUnsigned(spec, "h", 12), getUnsigned(spec, "bht", 12),
+            getUnsigned(spec, "s", 4));
+        config.counterBits = getUnsigned(spec, "cbits", 2);
+        return std::make_unique<TwoLevel>(config);
+    }
+    if (name == "pag") {
+        return std::make_unique<TwoLevel>(TwoLevelConfig::pag(
+            getUnsigned(spec, "h", 12), getUnsigned(spec, "bht", 12)));
+    }
+    if (name == "gskewed") {
+        return std::make_unique<GSkewed>(getUnsigned(spec, "h", 16),
+                                         getUnsigned(spec, "bank", 14));
+    }
+    if (name == "ifgshare")
+        return std::make_unique<IfGshare>(getUnsigned(spec, "h", 16));
+    if (name == "ifpas")
+        return std::make_unique<IfPas>(getUnsigned(spec, "h", 12));
+    if (name == "path") {
+        return std::make_unique<PathBased>(
+            getUnsigned(spec, "n", 8), getUnsigned(spec, "b", 2),
+            getUnsigned(spec, "pht", 16));
+    }
+    if (name == "loop")
+        return std::make_unique<LoopPredictor>();
+    if (name == "block")
+        return std::make_unique<BlockPatternPredictor>();
+    if (name == "fixed")
+        return std::make_unique<FixedPattern>(getUnsigned(spec, "k", 1));
+    if (name == "hybrid") {
+        std::string a = decodeInner(getString(spec, "a", "gshare"));
+        std::string b = decodeInner(getString(spec, "b", "pas"));
+        return std::make_unique<Hybrid>(makePredictor(a), makePredictor(b),
+                                        getUnsigned(spec, "chooser", 12));
+    }
+    fatal("unknown predictor '" + name + "'");
+}
+
+std::vector<std::string>
+knownPredictors()
+{
+    return {
+        "taken", "nottaken", "btfnt", "bimodal", "gshare", "gag", "gas",
+        "pas", "pag", "gskewed", "ifgshare", "ifpas", "path", "loop",
+        "block", "fixed", "hybrid",
+    };
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * String-spec predictor factory for CLI tools and examples.
+ *
+ * Spec grammar: `name` or `name:key=value,key=value`. Examples:
+ *   "gshare", "gshare:h=14", "pas:h=10,bht=8,s=4", "bimodal:bits=10",
+ *   "fixed:k=7", "hybrid:a=gshare;b=pas" (components use ';' separators
+ *   so the inner specs may themselves carry parameters via '.').
+ */
+
+#ifndef COPRA_PREDICTOR_FACTORY_HPP
+#define COPRA_PREDICTOR_FACTORY_HPP
+
+#include <string>
+#include <vector>
+
+#include "predictor/predictor.hpp"
+
+namespace copra::predictor {
+
+/**
+ * Create a predictor from a spec string. Calls fatal() on unknown names
+ * or malformed parameters.
+ */
+PredictorPtr makePredictor(const std::string &spec);
+
+/** Names accepted by makePredictor (for --help output). */
+std::vector<std::string> knownPredictors();
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_FACTORY_HPP

@@ -1,0 +1,83 @@
+#include "predictor/fixed_pattern.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+FixedPattern::FixedPattern(unsigned k)
+    : k_(k)
+{
+    fatalIf(k == 0 || k > 32, "fixed-pattern k must be in 1..32");
+}
+
+bool
+FixedPattern::predict(const trace::BranchRecord &br)
+{
+    auto it = rings_.find(br.pc);
+    if (it == rings_.end())
+        return true;
+    return it->second.kAgo(k_);
+}
+
+void
+FixedPattern::update(const trace::BranchRecord &br, bool taken)
+{
+    rings_[br.pc].push(taken);
+}
+
+void
+FixedPattern::reset()
+{
+    rings_.clear();
+}
+
+std::string
+FixedPattern::name() const
+{
+    return "fixed-k(" + std::to_string(k_) + ")";
+}
+
+void
+FixedPatternBank::observe(uint64_t pc, bool taken)
+{
+    BranchCounts &bc = table_[pc];
+    for (unsigned k = 1; k <= kMaxK; ++k)
+        if (bc.ring.kAgo(k) == taken)
+            ++bc.correct[k - 1];
+    bc.ring.push(taken);
+    ++bc.execs;
+}
+
+uint64_t
+FixedPatternBank::bestCorrect(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    if (it == table_.end())
+        return 0;
+    uint64_t best = 0;
+    for (uint64_t c : it->second.correct)
+        best = std::max(best, c);
+    return best;
+}
+
+unsigned
+FixedPatternBank::bestK(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    if (it == table_.end())
+        return 1;
+    unsigned best_k = 1;
+    uint64_t best = 0;
+    for (unsigned k = 1; k <= kMaxK; ++k) {
+        uint64_t c = it->second.correct[k - 1];
+        if (c > best) {
+            best = c;
+            best_k = k;
+        }
+    }
+    return best_k;
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fixed-length-pattern predictors (paper §4.1.2): a branch repeating any
+ * pattern of length k has each outcome equal to its outcome k executions
+ * ago, so the class predictor simply replays the outcome from k ago.
+ *
+ * The paper simulates 32 variants (k = 1..32) and scores each branch by
+ * the best of them; FixedPattern is the single-k predictor and
+ * FixedPatternBank runs all 32 in one pass for the classification engine.
+ */
+
+#ifndef COPRA_PREDICTOR_FIXED_PATTERN_HPP
+#define COPRA_PREDICTOR_FIXED_PATTERN_HPP
+
+#include <array>
+#include <unordered_map>
+
+#include "predictor/predictor.hpp"
+
+namespace copra::predictor {
+
+/** Ring buffer of the last 32 outcomes of one branch. */
+struct OutcomeRing
+{
+    uint32_t bits = 0;  //!< newest outcome in bit 0
+    uint32_t count = 0; //!< outcomes recorded (saturates at 2^32-1)
+
+    /** Record a new outcome. */
+    void
+    push(bool taken)
+    {
+        bits = (bits << 1) | (taken ? 1u : 0u);
+        if (count < UINT32_MAX)
+            ++count;
+    }
+
+    /**
+     * Outcome @p k executions ago (k = 1..32). Returns @p cold_default
+     * when fewer than k outcomes have been recorded.
+     */
+    bool
+    kAgo(unsigned k, bool cold_default = true) const
+    {
+        if (count < k)
+            return cold_default;
+        return (bits >> (k - 1)) & 1u;
+    }
+};
+
+/** Predict the same direction the branch took k executions ago. */
+class FixedPattern : public Predictor
+{
+  public:
+    /** @param k Pattern length hypothesis, 1..32. */
+    explicit FixedPattern(unsigned k);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    unsigned k() const { return k_; }
+
+  private:
+    unsigned k_;
+    std::unordered_map<uint64_t, OutcomeRing> rings_;
+};
+
+/**
+ * All 32 fixed-length-pattern predictors evaluated simultaneously, with
+ * per-branch per-k correct counts. Not a Predictor (it makes 32
+ * predictions per branch); used by the per-address classification engine,
+ * which needs max-over-k accuracy per branch.
+ */
+class FixedPatternBank
+{
+  public:
+    static constexpr unsigned kMaxK = 32;
+
+    /** Per-branch accounting: correct predictions for each k. */
+    struct BranchCounts
+    {
+        OutcomeRing ring;
+        uint64_t execs = 0;
+        std::array<uint64_t, kMaxK> correct{};
+    };
+
+    /** Observe one execution of the branch at @p pc. */
+    void observe(uint64_t pc, bool taken);
+
+    /** Best correct-count over k for @p pc (0 if unseen). */
+    uint64_t bestCorrect(uint64_t pc) const;
+
+    /** The k achieving bestCorrect for @p pc (1 if unseen). */
+    unsigned bestK(uint64_t pc) const;
+
+    /** Per-branch table (for iteration by the classifier). */
+    const std::unordered_map<uint64_t, BranchCounts> &table() const
+    {
+        return table_;
+    }
+
+  private:
+    std::unordered_map<uint64_t, BranchCounts> table_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_FIXED_PATTERN_HPP

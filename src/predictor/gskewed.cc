@@ -1,0 +1,90 @@
+#include "predictor/gskewed.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+namespace {
+
+/**
+ * Seznec's skewing is built from an H function (a one-bit-feedback
+ * shuffle); any family of distinct mixing functions preserves the
+ * property that matters — two addresses colliding under one function
+ * rarely collide under another. We use three odd-multiplier hashes.
+ */
+constexpr uint64_t kMultipliers[3] = {
+    0x9E3779B97F4A7C15ull, // golden ratio
+    0xC2B2AE3D27D4EB4Full, // from murmur3 finalization
+    0x165667B19E3779F9ull,
+};
+
+} // namespace
+
+GSkewed::GSkewed(unsigned history_bits, unsigned bank_bits)
+    : historyBits_(history_bits), bankBits_(bank_bits),
+      history_(history_bits)
+{
+    fatalIf(history_bits == 0 || history_bits > 32,
+            "gskewed history bits must be in 1..32");
+    fatalIf(bank_bits == 0 || bank_bits > 26,
+            "gskewed bank bits must be in 1..26");
+    for (auto &bank : banks_)
+        bank.assign(size_t(1) << bank_bits, Counter2{});
+}
+
+size_t
+GSkewed::bankIndex(unsigned bank, uint64_t pc) const
+{
+    uint64_t key = (history_.value() << 20) ^ (pc >> 2);
+    uint64_t mixed = key * kMultipliers[bank];
+    return (mixed >> (64 - bankBits_)) & ((size_t(1) << bankBits_) - 1);
+}
+
+bool
+GSkewed::predict(const trace::BranchRecord &br)
+{
+    int votes = 0;
+    for (unsigned b = 0; b < 3; ++b)
+        if (banks_[b][bankIndex(b, br.pc)].taken())
+            ++votes;
+    return votes >= 2;
+}
+
+void
+GSkewed::update(const trace::BranchRecord &br, bool taken)
+{
+    // Partial update: on a correct majority vote, only the banks that
+    // voted with the outcome strengthen; on a mispredict, all banks
+    // train toward the outcome.
+    int votes = 0;
+    bool bank_taken[3];
+    for (unsigned b = 0; b < 3; ++b) {
+        bank_taken[b] = banks_[b][bankIndex(b, br.pc)].taken();
+        if (bank_taken[b])
+            ++votes;
+    }
+    bool predicted = votes >= 2;
+    for (unsigned b = 0; b < 3; ++b) {
+        if (predicted == taken && bank_taken[b] != taken)
+            continue; // correct vote: leave the dissenting bank alone
+        banks_[b][bankIndex(b, br.pc)].update(taken);
+    }
+    history_.push(taken);
+}
+
+void
+GSkewed::reset()
+{
+    history_.clear();
+    for (auto &bank : banks_)
+        std::fill(bank.begin(), bank.end(), Counter2{});
+}
+
+std::string
+GSkewed::name() const
+{
+    return "gskewed(h=" + std::to_string(historyBits_) + ",3x2^" +
+        std::to_string(bankBits_) + ")";
+}
+
+} // namespace copra::predictor

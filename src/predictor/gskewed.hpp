@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Skewed branch predictor (Seznec, ISCA 1997; cited by the paper as a
+ * response to exactly the PHT interference its analysis quantifies).
+ *
+ * Three counter banks are indexed by three different hash (skewing)
+ * functions of the same (history, pc) pair, and the prediction is the
+ * majority vote. Two branches that collide in one bank almost never
+ * collide in the other two, so a destructive alias is outvoted —
+ * trading capacity for conflict resilience.
+ */
+
+#ifndef COPRA_PREDICTOR_GSKEWED_HPP
+#define COPRA_PREDICTOR_GSKEWED_HPP
+
+#include <array>
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "util/sat_counter.hpp"
+#include "util/shift_register.hpp"
+
+namespace copra::predictor {
+
+/**
+ * e-gskew-style global predictor: 3 banks of 2^bank_bits 2-bit counters,
+ * global history, majority vote, partial update (only the banks that
+ * agreed with the outcome train when the vote was correct; all banks
+ * train on a mispredict — Seznec's "partial update" policy).
+ */
+class GSkewed : public Predictor
+{
+  public:
+    /**
+     * @param history_bits Global history length.
+     * @param bank_bits log2 of each bank's counter count.
+     */
+    explicit GSkewed(unsigned history_bits = 16, unsigned bank_bits = 14);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Bank index of @p bank for @p pc under the current history. */
+    size_t bankIndex(unsigned bank, uint64_t pc) const;
+
+  private:
+    unsigned historyBits_;
+    unsigned bankBits_;
+    HistoryRegister history_;
+    std::array<std::vector<Counter2>, 3> banks_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_GSKEWED_HPP

@@ -1,0 +1,63 @@
+#include "predictor/hybrid.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+Hybrid::Hybrid(PredictorPtr a, PredictorPtr b, unsigned chooser_bits)
+    : a_(std::move(a)), b_(std::move(b)), chooserBits_(chooser_bits)
+{
+    fatalIf(!a_ || !b_, "hybrid needs two components");
+    fatalIf(chooser_bits == 0 || chooser_bits > 24,
+            "hybrid chooser bits must be in 1..24");
+    // Start neutral-leaning-A: weakly-taken selects component A.
+    chooser_.assign(size_t(1) << chooser_bits, Counter2{2});
+}
+
+size_t
+Hybrid::chooserIndex(uint64_t pc) const
+{
+    return (pc >> 2) & ((size_t(1) << chooserBits_) - 1);
+}
+
+bool
+Hybrid::predict(const trace::BranchRecord &br)
+{
+    lastA_ = a_->predict(br);
+    lastB_ = b_->predict(br);
+    lastPc_ = br.pc;
+    return chooser_[chooserIndex(br.pc)].taken() ? lastA_ : lastB_;
+}
+
+void
+Hybrid::update(const trace::BranchRecord &br, bool taken)
+{
+    // The driver contract guarantees update() follows predict() for the
+    // same branch; recompute defensively if the contract was violated.
+    if (br.pc != lastPc_) {
+        lastA_ = a_->predict(br);
+        lastB_ = b_->predict(br);
+    }
+    bool correct_a = lastA_ == taken;
+    bool correct_b = lastB_ == taken;
+    if (correct_a != correct_b)
+        chooser_[chooserIndex(br.pc)].update(correct_a);
+    a_->update(br, taken);
+    b_->update(br, taken);
+}
+
+void
+Hybrid::reset()
+{
+    a_->reset();
+    b_->reset();
+    std::fill(chooser_.begin(), chooser_.end(), Counter2{2});
+}
+
+std::string
+Hybrid::name() const
+{
+    return "hybrid(" + a_->name() + "," + b_->name() + ")";
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hybrid (tournament) predictor (McFarling, 1993; paper §2.1): two
+ * component predictors and a table of 2-bit chooser counters indexed by
+ * branch address. The chooser learns, per address, which component to
+ * trust; both components always train.
+ */
+
+#ifndef COPRA_PREDICTOR_HYBRID_HPP
+#define COPRA_PREDICTOR_HYBRID_HPP
+
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "util/sat_counter.hpp"
+
+namespace copra::predictor {
+
+/**
+ * Two-component tournament predictor. Owns its components.
+ *
+ * The chooser counter semantics: value >= 2 selects component A,
+ * otherwise component B. When exactly one component predicted correctly,
+ * the chooser moves toward it.
+ */
+class Hybrid : public Predictor
+{
+  public:
+    /**
+     * @param a First component (selected when the chooser is high).
+     * @param b Second component.
+     * @param chooser_bits log2 of the chooser table size.
+     */
+    Hybrid(PredictorPtr a, PredictorPtr b, unsigned chooser_bits = 12);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Component A (for tests). */
+    Predictor &componentA() { return *a_; }
+
+    /** Component B (for tests). */
+    Predictor &componentB() { return *b_; }
+
+  private:
+    size_t chooserIndex(uint64_t pc) const;
+
+    PredictorPtr a_;
+    PredictorPtr b_;
+    unsigned chooserBits_;
+    std::vector<Counter2> chooser_;
+
+    // predict() caches component predictions for the matching update().
+    bool lastA_ = false;
+    bool lastB_ = false;
+    uint64_t lastPc_ = ~uint64_t(0);
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_HYBRID_HPP

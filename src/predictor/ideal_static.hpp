@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The "ideal static" predictor (paper §4.1): for each static branch,
+ * always predict the direction the branch takes most often over the whole
+ * run. This is the best any static predictor can do, and the paper uses
+ * it as the floor against which the dynamic predictability classes are
+ * measured. It requires profile knowledge, so it is built from a
+ * completed trace (or any per-branch taken/not-taken profile).
+ */
+
+#ifndef COPRA_PREDICTOR_IDEAL_STATIC_HPP
+#define COPRA_PREDICTOR_IDEAL_STATIC_HPP
+
+#include <unordered_map>
+
+#include "predictor/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace copra::predictor {
+
+/** Profile-based per-branch majority-direction predictor. */
+class IdealStatic : public Predictor
+{
+  public:
+    /** Construct with an explicit pc -> majority-direction table. */
+    explicit IdealStatic(std::unordered_map<uint64_t, bool> majority);
+
+    /** Profile @p trace and build the ideal static predictor for it. */
+    static IdealStatic fromTrace(const trace::Trace &trace);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &, bool) override {}
+    void reset() override {} // profile knowledge is not adaptive state
+    std::string name() const override { return "ideal-static"; }
+
+    /** Number of profiled branches. */
+    size_t branches() const { return majority_.size(); }
+
+  private:
+    std::unordered_map<uint64_t, bool> majority_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_IDEAL_STATIC_HPP

@@ -1,0 +1,99 @@
+#include "predictor/interference_free.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+IfGshare::IfGshare(unsigned history_bits)
+    : historyBits_(history_bits), history_(history_bits)
+{
+    fatalIf(history_bits == 0 || history_bits > 32,
+            "IF gshare history bits must be in 1..32");
+    pht_.reserve(1 << 16);
+}
+
+uint64_t
+IfGshare::keyOf(uint64_t pc) const
+{
+    // A private PHT per branch == counters keyed by the exact
+    // (pc, history) pair. pc values fit in 32 bits for every workload in
+    // this repo, so the packed key is collision-free; wider pcs fold
+    // their high bits in and merely degrade to (excellent) hashing.
+    return ((pc ^ (pc >> 32)) << 32) ^ history_.value();
+}
+
+bool
+IfGshare::predict(const trace::BranchRecord &br)
+{
+    auto it = pht_.find(keyOf(br.pc));
+    return it == pht_.end() ? Counter2{}.taken() : it->second.taken();
+}
+
+void
+IfGshare::update(const trace::BranchRecord &br, bool taken)
+{
+    pht_[keyOf(br.pc)].update(taken);
+    history_.push(taken);
+}
+
+void
+IfGshare::reset()
+{
+    history_.clear();
+    pht_.clear();
+}
+
+std::string
+IfGshare::name() const
+{
+    return "IF-gshare(h=" + std::to_string(historyBits_) + ")";
+}
+
+IfPas::IfPas(unsigned history_bits)
+    : historyBits_(history_bits),
+      historyMask_((uint64_t(1) << history_bits) - 1)
+{
+    fatalIf(history_bits == 0 || history_bits > 32,
+            "IF PAs history bits must be in 1..32");
+    histories_.reserve(1 << 12);
+    pht_.reserve(1 << 16);
+}
+
+uint64_t
+IfPas::keyOf(uint64_t pc) const
+{
+    auto it = histories_.find(pc);
+    uint64_t hist = it == histories_.end() ? 0 : it->second;
+    // Exact (pc, history) key; see IfGshare::keyOf.
+    return ((pc ^ (pc >> 32)) << 32) ^ hist;
+}
+
+bool
+IfPas::predict(const trace::BranchRecord &br)
+{
+    auto it = pht_.find(keyOf(br.pc));
+    return it == pht_.end() ? Counter2{}.taken() : it->second.taken();
+}
+
+void
+IfPas::update(const trace::BranchRecord &br, bool taken)
+{
+    pht_[keyOf(br.pc)].update(taken);
+    uint64_t &hist = histories_[br.pc];
+    hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+IfPas::reset()
+{
+    histories_.clear();
+    pht_.clear();
+}
+
+std::string
+IfPas::name() const
+{
+    return "IF-PAs(h=" + std::to_string(historyBits_) + ")";
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interference-free two-level predictors (paper §2.2; Talcott et al. 1995,
+ * Young et al. 1995): conceptually one private PHT per static branch, so
+ * no two branches ever share a counter. Prohibitively large in hardware
+ * but the right instrument for separating interference effects from
+ * training effects, which is exactly how the paper uses them.
+ */
+
+#ifndef COPRA_PREDICTOR_INTERFERENCE_FREE_HPP
+#define COPRA_PREDICTOR_INTERFERENCE_FREE_HPP
+
+#include <unordered_map>
+
+#include "predictor/predictor.hpp"
+#include "util/sat_counter.hpp"
+#include "util/shift_register.hpp"
+
+namespace copra::predictor {
+
+/**
+ * Interference-free gshare: a global history register, with a private
+ * pattern history table per static branch (realized as a hash map keyed
+ * by (pc, history)). Identical inputs to gshare, zero aliasing.
+ */
+class IfGshare : public Predictor
+{
+  public:
+    /** @param history_bits Global history length (paper uses 16). */
+    explicit IfGshare(unsigned history_bits = 16);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Number of distinct (pc, history) counters allocated so far. */
+    size_t countersAllocated() const { return pht_.size(); }
+
+  private:
+    uint64_t keyOf(uint64_t pc) const;
+
+    unsigned historyBits_;
+    HistoryRegister history_;
+    std::unordered_map<uint64_t, Counter2> pht_;
+};
+
+/**
+ * Interference-free PAs: a private history register per static branch
+ * (a "very large BTB", paper §4.1.3) and a private PHT per branch.
+ */
+class IfPas : public Predictor
+{
+  public:
+    /** @param history_bits Per-branch history length. */
+    explicit IfPas(unsigned history_bits = 12);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Number of static branches tracked so far. */
+    size_t branchesTracked() const { return histories_.size(); }
+
+  private:
+    uint64_t keyOf(uint64_t pc) const;
+
+    unsigned historyBits_;
+    uint64_t historyMask_;
+    std::unordered_map<uint64_t, uint64_t> histories_;
+    std::unordered_map<uint64_t, Counter2> pht_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_INTERFERENCE_FREE_HPP

@@ -1,0 +1,67 @@
+#include "predictor/loop_predictor.hpp"
+
+namespace copra::predictor {
+
+LoopState
+LoopPredictor::state(uint64_t pc) const
+{
+    const LoopState *st = table_.find(pc);
+    return st ? *st : LoopState{};
+}
+
+bool
+LoopPredictor::predict(const trace::BranchRecord &br)
+{
+    const LoopState *st = table_.find(br.pc);
+    if (st == nullptr || !st->seen)
+        return true; // cold: default taken
+    // Predict the body direction for the learned trip count, then one
+    // prediction of the exit direction.
+    return st->run < st->trip ? st->dir : !st->dir;
+}
+
+void
+LoopPredictor::update(const trace::BranchRecord &br, bool taken)
+{
+    LoopState &st = table_.access(br.pc);
+    if (!st.seen) {
+        st.seen = true;
+        st.dir = taken;
+        st.run = 1;
+        st.trip = 255;
+        return;
+    }
+    if (taken == st.dir) {
+        if (st.run < kMaxRun)
+            ++st.run;
+    } else {
+        if (st.run == 0) {
+            // Two consecutive opposite outcomes: the roles are inverted
+            // (e.g. a for-type loop whose body direction we guessed
+            // wrong, or a while-type branch). Flip the body direction.
+            st.dir = taken;
+            st.run = 1;
+            st.trip = 255;
+        } else {
+            // The run ended: remember its length as the trip count.
+            st.trip = st.run;
+            st.run = 0;
+        }
+    }
+}
+
+void
+LoopPredictor::reset()
+{
+    table_.clear();
+}
+
+std::string
+LoopPredictor::name() const
+{
+    if (table_.config().isPerfect())
+        return "loop";
+    return "loop(btb=" + table_.config().describe() + ")";
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,53 @@
+#include "predictor/path_based.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+PathBased::PathBased(unsigned path_branches, unsigned bits_per_branch,
+                     unsigned pht_bits)
+    : pathBranches_(path_branches), bitsPerBranch_(bits_per_branch),
+      phtBits_(pht_bits), path_(path_branches, bits_per_branch)
+{
+    fatalIf(pht_bits == 0 || pht_bits > 28,
+            "path predictor PHT bits must be in 1..28");
+    pht_.assign(size_t(1) << pht_bits, Counter2{});
+}
+
+size_t
+PathBased::indexOf(uint64_t pc) const
+{
+    return (path_.value() ^ (pc >> 2)) & ((size_t(1) << phtBits_) - 1);
+}
+
+bool
+PathBased::predict(const trace::BranchRecord &br)
+{
+    return pht_[indexOf(br.pc)].taken();
+}
+
+void
+PathBased::update(const trace::BranchRecord &br, bool taken)
+{
+    pht_[indexOf(br.pc)].update(taken);
+    // Record the address actually followed: the taken target or the
+    // fall-through. This is what distinguishes paths rather than
+    // outcomes.
+    path_.push(taken ? br.target : br.pc + 4);
+}
+
+void
+PathBased::reset()
+{
+    path_.clear();
+    std::fill(pht_.begin(), pht_.end(), Counter2{});
+}
+
+std::string
+PathBased::name() const
+{
+    return "path(" + std::to_string(pathBranches_) + "x" +
+        std::to_string(bitsPerBranch_) + "b)";
+}
+
+} // namespace copra::predictor

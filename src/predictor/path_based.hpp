@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Path-based global predictor (Nair, 1995; paper §2.1): the first-level
+ * history records low-order bits of the addresses along the path instead
+ * of branch outcomes, which captures in-path correlation directly —
+ * knowing a branch was on the path constrains earlier outcomes even when
+ * its own direction is uninformative (paper Fig. 2).
+ */
+
+#ifndef COPRA_PREDICTOR_PATH_BASED_HPP
+#define COPRA_PREDICTOR_PATH_BASED_HPP
+
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "util/sat_counter.hpp"
+#include "util/shift_register.hpp"
+
+namespace copra::predictor {
+
+/**
+ * Global path-history predictor. The path register holds a few address
+ * bits from each of the last p basic-block successors; the PHT is indexed
+ * by path XOR pc.
+ */
+class PathBased : public Predictor
+{
+  public:
+    /**
+     * @param path_branches Branches encoded in the path register.
+     * @param bits_per_branch Address bits retained per branch.
+     * @param pht_bits log2 of the PHT size.
+     */
+    PathBased(unsigned path_branches = 8, unsigned bits_per_branch = 2,
+              unsigned pht_bits = 16);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+
+    unsigned pathBranches_;
+    unsigned bitsPerBranch_;
+    unsigned phtBits_;
+    PathRegister path_;
+    std::vector<Counter2> pht_;
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_PATH_BASED_HPP

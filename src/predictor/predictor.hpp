@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The branch direction predictor interface.
+ *
+ * Every predictor in the zoo — static, bimodal, two-level, interference
+ * free, loop/pattern, hybrid, and the paper's hypothetical selective
+ * history predictor — implements this interface, so the simulation driver
+ * and the analysis passes are predictor-agnostic.
+ */
+
+#ifndef COPRA_PREDICTOR_PREDICTOR_HPP
+#define COPRA_PREDICTOR_PREDICTOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "trace/branch_record.hpp"
+
+namespace copra::predictor {
+
+/**
+ * Abstract branch direction predictor.
+ *
+ * Contract: the driver calls predict() then update() exactly once per
+ * dynamic conditional branch, in trace order. predict() must not examine
+ * the record's `taken` field — the outcome is delivered via update().
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /**
+     * Predict the direction of a conditional branch.
+     *
+     * @param br The branch about to execute. Implementations may use the
+     *           pc and target fields only.
+     * @return true for predicted taken.
+     */
+    virtual bool predict(const trace::BranchRecord &br) = 0;
+
+    /**
+     * Train on the resolved outcome of the branch most recently passed to
+     * predict().
+     *
+     * @param br The same record passed to predict().
+     * @param taken The actual outcome.
+     */
+    virtual void update(const trace::BranchRecord &br, bool taken) = 0;
+
+    /**
+     * Observe a non-conditional control transfer (jump, call, return).
+     * The driver delivers these in trace order between conditional
+     * branches; most predictors ignore them, but path- and
+     * iteration-aware predictors (e.g. the selective-history predictor)
+     * need them for bookkeeping.
+     */
+    virtual void observe(const trace::BranchRecord &) {}
+
+    /** Forget all adaptive state. */
+    virtual void reset() = 0;
+
+    /** Stable display name, e.g. "gshare(h=16)". */
+    virtual std::string name() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<Predictor>;
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_PREDICTOR_HPP

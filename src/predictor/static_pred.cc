@@ -1,0 +1,4 @@
+// Static predictors are fully defined in the header; this translation
+// unit exists so the library always has at least one symbol per module
+// and to catch header self-containment regressions at build time.
+#include "predictor/static_pred.hpp"

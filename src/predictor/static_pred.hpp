@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static (non-adaptive) predictors: always-taken, always-not-taken, and
+ * backward-taken/forward-not-taken. The profile-based "ideal static"
+ * predictor lives in predictor/ideal_static.hpp.
+ */
+
+#ifndef COPRA_PREDICTOR_STATIC_PRED_HPP
+#define COPRA_PREDICTOR_STATIC_PRED_HPP
+
+#include "predictor/predictor.hpp"
+
+namespace copra::predictor {
+
+/** Predicts every branch taken. */
+class AlwaysTaken : public Predictor
+{
+  public:
+    bool predict(const trace::BranchRecord &) override { return true; }
+    void update(const trace::BranchRecord &, bool) override {}
+    void reset() override {}
+    std::string name() const override { return "always-taken"; }
+};
+
+/** Predicts every branch not-taken. */
+class AlwaysNotTaken : public Predictor
+{
+  public:
+    bool predict(const trace::BranchRecord &) override { return false; }
+    void update(const trace::BranchRecord &, bool) override {}
+    void reset() override {}
+    std::string name() const override { return "always-not-taken"; }
+};
+
+/**
+ * Backward-taken / forward-not-taken: the classic static heuristic that
+ * assumes backward branches close loops.
+ */
+class Btfnt : public Predictor
+{
+  public:
+    bool
+    predict(const trace::BranchRecord &br) override
+    {
+        return br.isBackward();
+    }
+    void update(const trace::BranchRecord &, bool) override {}
+    void reset() override {}
+    std::string name() const override { return "btfnt"; }
+};
+
+} // namespace copra::predictor
+
+#endif // COPRA_PREDICTOR_STATIC_PRED_HPP

@@ -1,0 +1,167 @@
+#include "predictor/two_level.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+TwoLevelConfig
+TwoLevelConfig::gshare(unsigned h)
+{
+    TwoLevelConfig c;
+    c.scope = Scope::Global;
+    c.index = Index::Xor;
+    c.historyBits = h;
+    c.phtBits = h;
+    c.label = "gshare(h=" + std::to_string(h) + ")";
+    return c;
+}
+
+TwoLevelConfig
+TwoLevelConfig::gag(unsigned h)
+{
+    TwoLevelConfig c;
+    c.scope = Scope::Global;
+    c.index = Index::HistoryOnly;
+    c.historyBits = h;
+    c.phtBits = h;
+    c.label = "GAg(h=" + std::to_string(h) + ")";
+    return c;
+}
+
+TwoLevelConfig
+TwoLevelConfig::gas(unsigned h, unsigned pc_select)
+{
+    TwoLevelConfig c;
+    c.scope = Scope::Global;
+    c.index = Index::Concat;
+    c.historyBits = h;
+    c.pcSelectBits = pc_select;
+    c.phtBits = h + pc_select;
+    c.label = "GAs(h=" + std::to_string(h) + ",s=" +
+        std::to_string(pc_select) + ")";
+    return c;
+}
+
+TwoLevelConfig
+TwoLevelConfig::pas(unsigned h, unsigned bht_bits, unsigned pc_select)
+{
+    TwoLevelConfig c;
+    c.scope = Scope::PerAddress;
+    c.index = Index::Concat;
+    c.historyBits = h;
+    c.bhtBits = bht_bits;
+    c.pcSelectBits = pc_select;
+    c.phtBits = h + pc_select;
+    c.label = "PAs(h=" + std::to_string(h) + ",bht=" +
+        std::to_string(bht_bits) + ",s=" + std::to_string(pc_select) + ")";
+    return c;
+}
+
+TwoLevelConfig
+TwoLevelConfig::pag(unsigned h, unsigned bht_bits)
+{
+    TwoLevelConfig c;
+    c.scope = Scope::PerAddress;
+    c.index = Index::HistoryOnly;
+    c.historyBits = h;
+    c.bhtBits = bht_bits;
+    c.phtBits = h;
+    c.label = "PAg(h=" + std::to_string(h) + ",bht=" +
+        std::to_string(bht_bits) + ")";
+    return c;
+}
+
+TwoLevel::TwoLevel(const TwoLevelConfig &config)
+    : config_(config)
+{
+    fatalIf(config.historyBits == 0 || config.historyBits > 32,
+            "two-level history bits must be in 1..32");
+    fatalIf(config.phtBits == 0 || config.phtBits > 28,
+            "two-level PHT bits must be in 1..28");
+    fatalIf(config.scope == TwoLevelConfig::Scope::PerAddress &&
+            (config.bhtBits == 0 || config.bhtBits > 24),
+            "two-level BHT bits must be in 1..24");
+    fatalIf(config.counterBits == 0 || config.counterBits > 8,
+            "two-level counter bits must be in 1..8");
+
+    historyMask_ = (uint64_t(1) << config.historyBits) - 1;
+    phtMask_ = (size_t(1) << config.phtBits) - 1;
+    counterMax_ = static_cast<uint8_t>((1u << config.counterBits) - 1);
+    // Weakly-not-taken: the largest value still predicting not-taken.
+    counterInit_ = static_cast<uint8_t>((counterMax_ + 1) / 2 - 1);
+    size_t n_hist = config.scope == TwoLevelConfig::Scope::Global
+        ? 1 : (size_t(1) << config.bhtBits);
+    histories_.assign(n_hist, 0);
+    pht_.assign(size_t(1) << config.phtBits, counterInit_);
+}
+
+uint64_t &
+TwoLevel::historyFor(uint64_t pc)
+{
+    if (config_.scope == TwoLevelConfig::Scope::Global)
+        return histories_[0];
+    size_t idx = (pc >> 2) & ((size_t(1) << config_.bhtBits) - 1);
+    return histories_[idx];
+}
+
+uint64_t
+TwoLevel::historyFor(uint64_t pc) const
+{
+    return const_cast<TwoLevel *>(this)->historyFor(pc);
+}
+
+size_t
+TwoLevel::phtIndex(uint64_t pc) const
+{
+    uint64_t hist = historyFor(pc) & historyMask_;
+    uint64_t pc_bits = pc >> 2;
+    switch (config_.index) {
+      case TwoLevelConfig::Index::HistoryOnly:
+        return hist & phtMask_;
+      case TwoLevelConfig::Index::Concat:
+        {
+            uint64_t select =
+                pc_bits & ((uint64_t(1) << config_.pcSelectBits) - 1);
+            return ((select << config_.historyBits) | hist) & phtMask_;
+        }
+      case TwoLevelConfig::Index::Xor:
+        return (hist ^ pc_bits) & phtMask_;
+    }
+    return 0;
+}
+
+bool
+TwoLevel::predict(const trace::BranchRecord &br)
+{
+    return pht_[phtIndex(br.pc)] > counterInit_;
+}
+
+void
+TwoLevel::update(const trace::BranchRecord &br, bool taken)
+{
+    uint8_t &counter = pht_[phtIndex(br.pc)];
+    if (taken) {
+        if (counter < counterMax_)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+    uint64_t &hist = historyFor(br.pc);
+    hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+TwoLevel::reset()
+{
+    std::fill(histories_.begin(), histories_.end(), 0);
+    std::fill(pht_.begin(), pht_.end(), counterInit_);
+}
+
+std::string
+TwoLevel::name() const
+{
+    return config_.label;
+}
+
+} // namespace copra::predictor

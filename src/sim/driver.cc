@@ -1,0 +1,63 @@
+#include "sim/driver.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::sim {
+
+RunResult
+run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
+{
+    RunResult result;
+    result.predictorName = pred.name();
+    for (const auto &rec : trace.records()) {
+        if (!rec.isConditional()) {
+            pred.observe(rec);
+            continue;
+        }
+        bool prediction = pred.predict(rec);
+        pred.update(rec, rec.taken);
+        bool correct = prediction == rec.taken;
+        ++result.dynamicBranches;
+        if (correct)
+            ++result.correct;
+        if (ledger)
+            ledger->record(rec.pc, rec.taken, correct);
+    }
+    return result;
+}
+
+std::vector<RunResult>
+runAll(const trace::Trace &trace,
+       const std::vector<predictor::Predictor *> &preds,
+       std::vector<Ledger> *ledgers)
+{
+    for (auto *p : preds)
+        panicIf(p == nullptr, "runAll: null predictor");
+    if (ledgers)
+        ledgers->resize(preds.size());
+
+    std::vector<RunResult> results(preds.size());
+    for (size_t i = 0; i < preds.size(); ++i)
+        results[i].predictorName = preds[i]->name();
+
+    for (const auto &rec : trace.records()) {
+        if (!rec.isConditional()) {
+            for (auto *p : preds)
+                p->observe(rec);
+            continue;
+        }
+        for (size_t i = 0; i < preds.size(); ++i) {
+            bool prediction = preds[i]->predict(rec);
+            preds[i]->update(rec, rec.taken);
+            bool correct = prediction == rec.taken;
+            ++results[i].dynamicBranches;
+            if (correct)
+                ++results[i].correct;
+            if (ledgers)
+                (*ledgers)[i].record(rec.pc, rec.taken, correct);
+        }
+    }
+    return results;
+}
+
+} // namespace copra::sim

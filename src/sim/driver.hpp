@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The trace-driven simulation driver: runs one or more predictors over a
+ * trace, producing aggregate results and per-branch ledgers. All
+ * conditional branches are predicted; other control transfers are passed
+ * through (they exist for path/backward bookkeeping in the analyses).
+ */
+
+#ifndef COPRA_SIM_DRIVER_HPP
+#define COPRA_SIM_DRIVER_HPP
+
+#include <string>
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "sim/ledger.hpp"
+#include "trace/trace.hpp"
+
+namespace copra::sim {
+
+/** Aggregate outcome of one predictor over one trace. */
+struct RunResult
+{
+    std::string predictorName;
+    uint64_t dynamicBranches = 0;
+    uint64_t correct = 0;
+
+    /** Prediction accuracy as a percentage. */
+    double
+    accuracyPercent() const
+    {
+        if (dynamicBranches == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(correct)
+            / static_cast<double>(dynamicBranches);
+    }
+
+    /** Misprediction rate as a percentage. */
+    double mispredictPercent() const { return 100.0 - accuracyPercent(); }
+};
+
+/**
+ * Run @p pred over @p trace.
+ *
+ * @param ledger Optional per-branch accounting sink.
+ */
+RunResult run(const trace::Trace &trace, predictor::Predictor &pred,
+              Ledger *ledger = nullptr);
+
+/**
+ * Run several predictors over the same trace in a single pass, so every
+ * ledger covers exactly the same dynamic branches.
+ *
+ * @param preds Predictors to drive (all receive every branch).
+ * @param ledgers Optional parallel array of ledgers, one per predictor
+ *                (pass nullptr to skip, or a vector shorter than preds).
+ */
+std::vector<RunResult> runAll(
+    const trace::Trace &trace,
+    const std::vector<predictor::Predictor *> &preds,
+    std::vector<Ledger> *ledgers = nullptr);
+
+} // namespace copra::sim
+
+#endif // COPRA_SIM_DRIVER_HPP

@@ -1,0 +1,62 @@
+#include "sim/ledger.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace copra::sim {
+
+uint64_t
+Ledger::dynamic_helper() const
+{
+    uint64_t total = 0;
+    for (const auto &[pc, tally] : table_)
+        total += tally.execs;
+    return total;
+}
+
+uint64_t
+Ledger::correct() const
+{
+    uint64_t total = 0;
+    for (const auto &[pc, tally] : table_)
+        total += tally.correct;
+    return total;
+}
+
+double
+Ledger::accuracyPercent() const
+{
+    uint64_t total = dynamic();
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(correct())
+        / static_cast<double>(total);
+}
+
+BranchTally
+Ledger::branch(uint64_t pc) const
+{
+    auto it = table_.find(pc);
+    return it == table_.end() ? BranchTally{} : it->second;
+}
+
+double
+bestOfAccuracyPercent(const Ledger &a, const Ledger &b)
+{
+    uint64_t total = 0;
+    uint64_t correct = 0;
+    for (const auto &[pc, ta] : a.table()) {
+        BranchTally tb = b.branch(pc);
+        panicIf(tb.execs != ta.execs,
+                "bestOfAccuracyPercent: ledgers cover different traces");
+        total += ta.execs;
+        correct += std::max(ta.correct, tb.correct);
+    }
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(correct)
+        / static_cast<double>(total);
+}
+
+} // namespace copra::sim

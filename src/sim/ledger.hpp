@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-branch accuracy ledger. Every analysis in the paper is a statement
+ * about *per-static-branch* accuracy — which predictor is best for which
+ * branch — so the driver records correct/total per pc, and the core
+ * analyses combine ledgers (best-of, hypothetical hybrids, percentile
+ * curves).
+ */
+
+#ifndef COPRA_SIM_LEDGER_HPP
+#define COPRA_SIM_LEDGER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace copra::sim {
+
+/** Per-branch prediction accounting. */
+struct BranchTally
+{
+    uint64_t execs = 0;
+    uint64_t correct = 0;
+    uint64_t taken = 0;
+
+    /** Accuracy in [0, 1]; 0 for never-executed branches. */
+    double
+    accuracy() const
+    {
+        return execs ? static_cast<double>(correct) / execs : 0.0;
+    }
+};
+
+/** Accuracy ledger over all static conditional branches of one run. */
+class Ledger
+{
+  public:
+    /** Record one prediction outcome for the branch at @p pc. */
+    void
+    record(uint64_t pc, bool taken, bool correct)
+    {
+        BranchTally &t = table_[pc];
+        ++t.execs;
+        if (taken)
+            ++t.taken;
+        if (correct)
+            ++t.correct;
+    }
+
+    /**
+     * Install a precomputed tally for @p pc, replacing any existing
+     * entry. Used by analyses that compute per-branch counts offline
+     * (e.g. the selective-history oracle) and expose them as a ledger.
+     */
+    void
+    setTally(uint64_t pc, uint64_t execs, uint64_t correct, uint64_t taken)
+    {
+        table_[pc] = BranchTally{execs, correct, taken};
+    }
+
+    /** Total dynamic branches recorded. */
+    uint64_t dynamic() const { return dynamic_helper(); }
+
+    /** Total correct predictions recorded. */
+    uint64_t correct() const;
+
+    /** Overall accuracy as a percentage (0 if empty). */
+    double accuracyPercent() const;
+
+    /** Tally for @p pc (zero tally if never recorded). */
+    BranchTally branch(uint64_t pc) const;
+
+    /** The underlying per-branch table. */
+    const std::unordered_map<uint64_t, BranchTally> &table() const
+    {
+        return table_;
+    }
+
+    /** Number of distinct static branches. */
+    size_t staticBranches() const { return table_.size(); }
+
+  private:
+    uint64_t dynamic_helper() const;
+
+    std::unordered_map<uint64_t, BranchTally> table_;
+};
+
+/**
+ * Overall accuracy (%) of the per-branch-best combination of two ledgers:
+ * for each branch, take whichever ledger got more executions right. Both
+ * ledgers must cover the same trace. This realizes the paper's
+ * hypothetical predictors ("gshare w/ Corr", "PAs w/ Loop") and the
+ * best-of distributions of §5.
+ */
+double bestOfAccuracyPercent(const Ledger &a, const Ledger &b);
+
+} // namespace copra::sim
+
+#endif // COPRA_SIM_LEDGER_HPP

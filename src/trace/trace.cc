@@ -1,0 +1,57 @@
+#include "trace/trace.hpp"
+
+namespace copra::trace {
+
+const char *
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::Conditional:
+        return "cond";
+      case BranchKind::Jump:
+        return "jump";
+      case BranchKind::Call:
+        return "call";
+      case BranchKind::Return:
+        return "ret";
+    }
+    return "unknown";
+}
+
+void
+Trace::append(const BranchRecord &rec)
+{
+    records_.push_back(rec);
+    if (rec.isConditional())
+        ++conditionals_;
+}
+
+void
+Trace::clear()
+{
+    records_.clear();
+    conditionals_ = 0;
+}
+
+Trace
+Trace::prefix(uint64_t n_conditionals) const
+{
+    Trace out(name_, seed_);
+    if (n_conditionals >= conditionals_) {
+        out.records_ = records_;
+        out.conditionals_ = conditionals_;
+        return out;
+    }
+    uint64_t seen = 0;
+    for (const auto &rec : records_) {
+        if (rec.isConditional()) {
+            if (seen == n_conditionals)
+                break;
+            ++seen;
+        }
+        out.append(rec);
+    }
+    return out;
+}
+
+} // namespace copra::trace

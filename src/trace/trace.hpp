@@ -1,0 +1,88 @@
+/**
+ * @file
+ * In-memory branch trace container.
+ */
+
+#ifndef COPRA_TRACE_TRACE_HPP
+#define COPRA_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hpp"
+
+namespace copra::trace {
+
+/**
+ * An in-memory branch trace: an ordered sequence of dynamic branch
+ * executions plus identifying metadata (benchmark name, generator seed).
+ *
+ * Traces are append-only during generation and immutable during
+ * simulation; all experiment passes iterate the same trace object so
+ * per-branch comparisons are exactly aligned.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param name Benchmark / workload identification string. */
+    explicit Trace(std::string name, uint64_t seed = 0)
+        : name_(std::move(name)), seed_(seed)
+    {
+    }
+
+    /** Workload name this trace was generated from. */
+    const std::string &name() const { return name_; }
+
+    /** Set the workload name (used by trace loaders). */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Generator seed recorded for reproducibility. */
+    uint64_t seed() const { return seed_; }
+
+    /** Set the recorded generator seed. */
+    void setSeed(uint64_t seed) { seed_ = seed; }
+
+    /** Append one dynamic branch execution. */
+    void append(const BranchRecord &rec);
+
+    /** Total records (all control-transfer kinds). */
+    size_t size() const { return records_.size(); }
+
+    /** True when the trace holds no records. */
+    bool empty() const { return records_.empty(); }
+
+    /** Number of conditional branch records. */
+    uint64_t conditionalCount() const { return conditionals_; }
+
+    /** Record at position @p i. */
+    const BranchRecord &operator[](size_t i) const { return records_[i]; }
+
+    /** Underlying record storage (for range-for iteration). */
+    const std::vector<BranchRecord> &records() const { return records_; }
+
+    /** Reserve storage for @p n records. */
+    void reserve(size_t n) { records_.reserve(n); }
+
+    /** Remove all records. */
+    void clear();
+
+    /**
+     * Copy the first @p n_conditionals conditional branches (and every
+     * non-conditional record interleaved before them) into a new trace.
+     * Used to run experiments on a prefix of a long trace.
+     */
+    Trace prefix(uint64_t n_conditionals) const;
+
+  private:
+    std::string name_;
+    uint64_t seed_ = 0;
+    uint64_t conditionals_ = 0;
+    std::vector<BranchRecord> records_;
+};
+
+} // namespace copra::trace
+
+#endif // COPRA_TRACE_TRACE_HPP

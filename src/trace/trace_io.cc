@@ -1,0 +1,211 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace copra::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'P', 'R', 'A', 'T', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+void
+putU32(std::ostream &os, uint32_t v)
+{
+    std::array<char, 4> buf;
+    for (int i = 0; i < 4; ++i)
+        buf[static_cast<size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf.data(), buf.size());
+}
+
+void
+putU64(std::ostream &os, uint64_t v)
+{
+    std::array<char, 8> buf;
+    for (int i = 0; i < 8; ++i)
+        buf[static_cast<size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf.data(), buf.size());
+}
+
+uint32_t
+getU32(std::istream &is)
+{
+    std::array<unsigned char, 4> buf;
+    is.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    if (!is)
+        throw std::runtime_error("copra trace: truncated input (u32)");
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | buf[static_cast<size_t>(i)];
+    return v;
+}
+
+uint64_t
+getU64(std::istream &is)
+{
+    std::array<unsigned char, 8> buf;
+    is.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    if (!is)
+        throw std::runtime_error("copra trace: truncated input (u64)");
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[static_cast<size_t>(i)];
+    return v;
+}
+
+} // namespace
+
+void
+writeBinary(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, kVersion);
+    putU64(os, trace.seed());
+    putU32(os, static_cast<uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    putU64(os, trace.size());
+    for (const auto &rec : trace.records()) {
+        putU64(os, rec.pc);
+        putU64(os, rec.target);
+        char tail[2] = {static_cast<char>(rec.kind),
+                        static_cast<char>(rec.taken ? 1 : 0)};
+        os.write(tail, 2);
+    }
+}
+
+Trace
+readBinary(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("copra trace: bad magic");
+    uint32_t version = getU32(is);
+    if (version != kVersion)
+        throw std::runtime_error("copra trace: unsupported version " +
+                                 std::to_string(version));
+    uint64_t seed = getU64(is);
+    uint32_t name_len = getU32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        throw std::runtime_error("copra trace: truncated name");
+    uint64_t count = getU64(is);
+
+    Trace trace(name, seed);
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        BranchRecord rec;
+        rec.pc = getU64(is);
+        rec.target = getU64(is);
+        char tail[2];
+        is.read(tail, 2);
+        if (!is)
+            throw std::runtime_error("copra trace: truncated record");
+        auto kind = static_cast<uint8_t>(tail[0]);
+        if (kind > static_cast<uint8_t>(BranchKind::Return))
+            throw std::runtime_error("copra trace: invalid branch kind");
+        rec.kind = static_cast<BranchKind>(kind);
+        rec.taken = tail[1] != 0;
+        trace.append(rec);
+    }
+    return trace;
+}
+
+void
+saveBinary(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("copra trace: cannot open for write: " +
+                                 path);
+    writeBinary(trace, os);
+    if (!os)
+        throw std::runtime_error("copra trace: write failed: " + path);
+}
+
+Trace
+loadBinary(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("copra trace: cannot open for read: " +
+                                 path);
+    return readBinary(is);
+}
+
+void
+writeText(const Trace &trace, std::ostream &os)
+{
+    os << "# name " << trace.name() << '\n';
+    os << "# seed " << trace.seed() << '\n';
+    for (const auto &rec : trace.records()) {
+        os << branchKindName(rec.kind) << ' ' << std::hex << "0x" << rec.pc
+           << " 0x" << rec.target << std::dec << ' '
+           << (rec.taken ? 'T' : 'N') << '\n';
+    }
+}
+
+Trace
+readText(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream hdr(line.substr(1));
+            std::string key;
+            hdr >> key;
+            if (key == "name") {
+                std::string name;
+                hdr >> name;
+                trace.setName(name);
+            } else if (key == "seed") {
+                uint64_t seed = 0;
+                hdr >> seed;
+                trace.setSeed(seed);
+            }
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string kind_str, pc_str, target_str, taken_str;
+        if (!(ls >> kind_str >> pc_str >> target_str >> taken_str))
+            throw std::runtime_error("copra trace: malformed text line " +
+                                     std::to_string(line_no));
+        BranchRecord rec;
+        if (kind_str == "cond")
+            rec.kind = BranchKind::Conditional;
+        else if (kind_str == "jump")
+            rec.kind = BranchKind::Jump;
+        else if (kind_str == "call")
+            rec.kind = BranchKind::Call;
+        else if (kind_str == "ret")
+            rec.kind = BranchKind::Return;
+        else
+            throw std::runtime_error("copra trace: unknown kind '" +
+                                     kind_str + "' on line " +
+                                     std::to_string(line_no));
+        rec.pc = std::stoull(pc_str, nullptr, 0);
+        rec.target = std::stoull(target_str, nullptr, 0);
+        if (taken_str == "T")
+            rec.taken = true;
+        else if (taken_str == "N")
+            rec.taken = false;
+        else
+            throw std::runtime_error("copra trace: bad outcome on line " +
+                                     std::to_string(line_no));
+        trace.append(rec);
+    }
+    return trace;
+}
+
+} // namespace copra::trace

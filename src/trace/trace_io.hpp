@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace serialization: a versioned binary format for bulk storage and a
+ * line-oriented text format for inspection and hand-written test inputs.
+ */
+
+#ifndef COPRA_TRACE_TRACE_IO_HPP
+#define COPRA_TRACE_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace copra::trace {
+
+/**
+ * Write @p trace to @p os in the copra binary trace format.
+ *
+ * Layout: 8-byte magic "COPRATRC", u32 version, u64 seed, u32 name length,
+ * name bytes, u64 record count, then one 18-byte packed record per dynamic
+ * branch (u64 pc, u64 target, u8 kind, u8 taken). All integers are
+ * little-endian.
+ */
+void writeBinary(const Trace &trace, std::ostream &os);
+
+/**
+ * Read a trace in the copra binary format.
+ *
+ * @throws std::runtime_error on bad magic, unsupported version, or
+ * truncated input.
+ */
+Trace readBinary(std::istream &is);
+
+/** Write @p trace to the file at @p path in binary format. */
+void saveBinary(const Trace &trace, const std::string &path);
+
+/** Load a binary-format trace from the file at @p path. */
+Trace loadBinary(const std::string &path);
+
+/**
+ * Write @p trace as text: a "# name <name>" / "# seed <seed>" header, then
+ * one "<kind> <pc-hex> <target-hex> <T|N>" line per record.
+ */
+void writeText(const Trace &trace, std::ostream &os);
+
+/**
+ * Read a text-format trace. Blank lines and lines starting with '#'
+ * (other than the recognized header directives) are ignored.
+ *
+ * @throws std::runtime_error on malformed lines.
+ */
+Trace readText(std::istream &is);
+
+} // namespace copra::trace
+
+#endif // COPRA_TRACE_TRACE_IO_HPP

@@ -1,0 +1,72 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+namespace copra::trace {
+
+TraceStats::TraceStats(const Trace &trace)
+{
+    perBranch_.reserve(1024);
+    for (const auto &rec : trace.records()) {
+        if (!rec.isConditional())
+            continue;
+        auto &entry = perBranch_[rec.pc];
+        entry.pc = rec.pc;
+        ++entry.execs;
+        if (rec.taken)
+            ++entry.taken;
+        ++dynamic_;
+        if (rec.taken)
+            ++taken_;
+    }
+}
+
+StaticBranchStats
+TraceStats::branch(uint64_t pc) const
+{
+    auto it = perBranch_.find(pc);
+    if (it == perBranch_.end())
+        return StaticBranchStats{pc, 0, 0};
+    return it->second;
+}
+
+double
+TraceStats::dynamicFractionWithBiasAbove(double threshold) const
+{
+    if (dynamic_ == 0)
+        return 0.0;
+    uint64_t covered = 0;
+    for (const auto &[pc, stats] : perBranch_)
+        if (stats.bias() > threshold)
+            covered += stats.execs;
+    return static_cast<double>(covered) / static_cast<double>(dynamic_);
+}
+
+uint64_t
+TraceStats::idealStaticCorrect() const
+{
+    uint64_t correct = 0;
+    for (const auto &[pc, stats] : perBranch_)
+        correct += stats.idealStaticCorrect();
+    return correct;
+}
+
+std::vector<StaticBranchStats>
+TraceStats::hottest(size_t n) const
+{
+    std::vector<StaticBranchStats> all;
+    all.reserve(perBranch_.size());
+    for (const auto &[pc, stats] : perBranch_)
+        all.push_back(stats);
+    std::sort(all.begin(), all.end(),
+              [](const StaticBranchStats &a, const StaticBranchStats &b) {
+                  if (a.execs != b.execs)
+                      return a.execs > b.execs;
+                  return a.pc < b.pc;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+} // namespace copra::trace

@@ -1,0 +1,96 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace copra {
+
+Histogram::Histogram(double lo, double hi, unsigned bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    panicIf(bins == 0, "Histogram needs at least one bin");
+    panicIf(!(hi > lo), "Histogram interval must be non-empty");
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<long>(std::floor(t * counts_.size()));
+    bin = std::clamp(bin, 0l, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binCenter(unsigned i) const
+{
+    double width = (hi_ - lo_) / counts_.size();
+    return lo_ + (i + 0.5) * width;
+}
+
+double
+Histogram::fraction(unsigned i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+WeightedPercentiles::add(double value, uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    samples_.emplace_back(value, weight);
+    total_ += weight;
+    sorted_ = false;
+}
+
+void
+WeightedPercentiles::sort() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        sorted_ = true;
+    }
+}
+
+double
+WeightedPercentiles::percentile(double p) const
+{
+    panicIf(samples_.empty(), "percentile() on empty sample set");
+    sort();
+    double target = std::clamp(p, 0.0, 100.0) / 100.0
+        * static_cast<double>(total_);
+    uint64_t seen = 0;
+    for (const auto &[value, weight] : samples_) {
+        seen += weight;
+        if (static_cast<double>(seen) >= target)
+            return value;
+    }
+    return samples_.back().first;
+}
+
+std::vector<std::pair<double, double>>
+WeightedPercentiles::curve(double step) const
+{
+    std::vector<std::pair<double, double>> out;
+    for (double p = 0.0; p <= 100.0 + 1e-9; p += step)
+        out.emplace_back(p, percentile(p));
+    return out;
+}
+
+} // namespace copra

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Histograms and weighted percentile curves used by the evaluation
+ * harnesses (notably the gshare-vs-PAs percentile plot, paper Fig. 9).
+ */
+
+#ifndef COPRA_UTIL_HISTOGRAM_HPP
+#define COPRA_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace copra {
+
+/**
+ * Fixed-bin histogram over a closed real interval. Samples outside the
+ * interval clamp to the first/last bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the covered interval.
+     * @param hi Upper bound of the covered interval (must exceed @p lo).
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, unsigned bins);
+
+    /** Add @p weight (default 1) at value @p x. */
+    void add(double x, uint64_t weight = 1);
+
+    /** Number of bins. */
+    unsigned bins() const { return static_cast<unsigned>(counts_.size()); }
+
+    /** Total weight accumulated. */
+    uint64_t total() const { return total_; }
+
+    /** Weight in bin @p i. */
+    uint64_t count(unsigned i) const { return counts_.at(i); }
+
+    /** Center value of bin @p i. */
+    double binCenter(unsigned i) const;
+
+    /** Fraction of total weight in bin @p i (0 if empty histogram). */
+    double fraction(unsigned i) const;
+
+    /** Reset all counts. */
+    void clear();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Weighted sample set supporting percentile queries. Used to reproduce the
+ * paper's percentile-of-dynamic-branches curves: each static branch
+ * contributes its statistic weighted by execution frequency.
+ */
+class WeightedPercentiles
+{
+  public:
+    /** Add a sample @p value carrying @p weight. */
+    void add(double value, uint64_t weight);
+
+    /** Total accumulated weight. */
+    uint64_t totalWeight() const { return total_; }
+
+    /**
+     * Value at percentile @p p in [0, 100]: the smallest sample value v
+     * such that at least p% of the weight lies at or below v. The sample
+     * set must be non-empty.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Evaluate percentiles 0..100 in steps of @p step and return the
+     * resulting curve (percentile, value) pairs.
+     */
+    std::vector<std::pair<double, double>> curve(double step = 5.0) const;
+
+  private:
+    mutable std::vector<std::pair<double, uint64_t>> samples_;
+    mutable bool sorted_ = false;
+    uint64_t total_ = 0;
+
+    void sort() const;
+};
+
+} // namespace copra
+
+#endif // COPRA_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Workload generation must be exactly reproducible across runs and
+ * platforms, so we implement xoshiro256** (Blackman & Vigna) seeded through
+ * splitmix64 rather than relying on implementation-defined std::
+ * distributions.
+ */
+
+#ifndef COPRA_UTIL_RNG_HPP
+#define COPRA_UTIL_RNG_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace copra {
+
+/** splitmix64 step; used for seeding and for cheap hash mixing. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a single value (splitmix64 finalizer). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    uint64_t s = x;
+    return splitmix64(s);
+}
+
+/**
+ * xoshiro256** generator. Deterministic, fast, and identical on every
+ * platform, which keeps synthetic benchmark traces byte-for-byte
+ * reproducible per seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        uint64_t sm = seed;
+        for (auto &word : s_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        panicIf(lo > hi, "Rng::range requires lo <= hi");
+        uint64_t span = hi - lo + 1;
+        if (span == 0)
+            return next(); // full 64-bit range
+        return lo + next() % span;
+    }
+
+    /** Uniform index in [0, n). @p n must be positive. */
+    uint64_t
+    index(uint64_t n)
+    {
+        panicIf(n == 0, "Rng::index requires n > 0");
+        return next() % n;
+    }
+
+    /**
+     * Geometric-flavoured small integer: minimum @p lo, each further step
+     * taken with probability @p grow, capped at @p hi. Used for loop trip
+     * counts and chain lengths.
+     */
+    uint64_t
+    geometric(uint64_t lo, uint64_t hi, double grow)
+    {
+        uint64_t v = lo;
+        while (v < hi && bernoulli(grow))
+            ++v;
+        return v;
+    }
+
+    /** Fork an independent stream (e.g., one per condition variable). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+};
+
+} // namespace copra
+
+#endif // COPRA_UTIL_RNG_HPP

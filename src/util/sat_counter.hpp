@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Saturating up/down counter, the basic adaptive element of every pattern
+ * history table in this library (Smith, 1981).
+ */
+
+#ifndef COPRA_UTIL_SAT_COUNTER_HPP
+#define COPRA_UTIL_SAT_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace copra {
+
+/**
+ * An n-bit saturating up/down counter.
+ *
+ * The counter holds values in [0, 2^bits - 1]. increment() and decrement()
+ * saturate at the limits. The most significant bit is the conventional
+ * taken/not-taken prediction.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * Construct a counter.
+     *
+     * @param bits Counter width in bits, 1..8.
+     * @param initial Initial counter value; must fit in the width.
+     */
+    explicit SatCounter(unsigned bits = 2, uint8_t initial = 1)
+        : bits_(bits), max_((1u << bits) - 1), value_(initial)
+    {
+        panicIf(bits == 0 || bits > 8, "SatCounter width must be in 1..8");
+        panicIf(initial > max_, "SatCounter initial value out of range");
+    }
+
+    /** Current raw counter value. */
+    uint8_t value() const { return value_; }
+
+    /** Largest representable value. */
+    uint8_t maxValue() const { return max_; }
+
+    /** Counter width in bits. */
+    unsigned bits() const { return bits_; }
+
+    /** Prediction encoded by the counter: true iff the MSB is set. */
+    bool taken() const { return value_ >= (max_ + 1u) / 2; }
+
+    /** True when the counter is at either saturation point. */
+    bool saturated() const { return value_ == 0 || value_ == max_; }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move the counter toward an observed outcome. */
+    void
+    update(bool outcome)
+    {
+        if (outcome)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Reset to an explicit value. */
+    void
+    set(uint8_t value)
+    {
+        panicIf(value > max_, "SatCounter::set value out of range");
+        value_ = value;
+    }
+
+    bool operator==(const SatCounter &other) const
+    {
+        return bits_ == other.bits_ && value_ == other.value_;
+    }
+
+  private:
+    uint8_t bits_;
+    uint8_t max_;
+    uint8_t value_;
+};
+
+/**
+ * A compact 2-bit counter stored in a single byte, for the large counter
+ * arrays used by pattern history tables. States: 0 strongly-not-taken,
+ * 1 weakly-not-taken, 2 weakly-taken, 3 strongly-taken.
+ */
+struct Counter2
+{
+    uint8_t v = 1;
+
+    /** Prediction: taken iff in one of the two taken states. */
+    bool taken() const { return v >= 2; }
+
+    /** Move toward an observed outcome, saturating at [0, 3]. */
+    void
+    update(bool outcome)
+    {
+        if (outcome) {
+            if (v < 3)
+                ++v;
+        } else {
+            if (v > 0)
+                --v;
+        }
+    }
+};
+
+} // namespace copra
+
+#endif // COPRA_UTIL_SAT_COUNTER_HPP

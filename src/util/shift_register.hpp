@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Branch history shift register: the first-level history of a two-level
+ * adaptive branch predictor (Yeh & Patt, 1991).
+ */
+
+#ifndef COPRA_UTIL_SHIFT_REGISTER_HPP
+#define COPRA_UTIL_SHIFT_REGISTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace copra {
+
+/**
+ * A k-bit shift register recording the outcomes of the most recent k
+ * branches, newest outcome in the least significant bit.
+ *
+ * Supports histories of up to 64 bits, which covers every configuration in
+ * the paper (8..32).
+ */
+class HistoryRegister
+{
+  public:
+    /** @param length History length in bits, 0..64. */
+    explicit HistoryRegister(unsigned length = 16)
+        : length_(length),
+          mask_(length >= 64 ? ~uint64_t(0) : ((uint64_t(1) << length) - 1)),
+          bits_(0)
+    {
+        panicIf(length > 64, "HistoryRegister supports at most 64 bits");
+    }
+
+    /** History length in bits. */
+    unsigned length() const { return length_; }
+
+    /** Current history pattern; newest outcome in bit 0. */
+    uint64_t value() const { return bits_; }
+
+    /** Mask covering the configured length. */
+    uint64_t mask() const { return mask_; }
+
+    /** Shift in a new outcome (true = taken). */
+    void
+    push(bool taken)
+    {
+        bits_ = ((bits_ << 1) | (taken ? 1u : 0u)) & mask_;
+    }
+
+    /** Outcome of the branch @p ago positions back (0 = most recent). */
+    bool
+    outcome(unsigned ago) const
+    {
+        panicIf(ago >= length_, "HistoryRegister::outcome out of range");
+        return (bits_ >> ago) & 1u;
+    }
+
+    /** Clear all recorded history. */
+    void clear() { bits_ = 0; }
+
+  private:
+    unsigned length_;
+    uint64_t mask_;
+    uint64_t bits_;
+};
+
+/**
+ * A path history register (Nair, 1995): instead of outcomes it records a
+ * few low-order bits of the addresses of the most recent branches, giving a
+ * (lossy) encoding of the path taken to reach the current branch.
+ */
+class PathRegister
+{
+  public:
+    /**
+     * @param branches Number of recent branches encoded.
+     * @param bits_per_branch Address bits retained per branch.
+     */
+    PathRegister(unsigned branches = 8, unsigned bits_per_branch = 2)
+        : branches_(branches), bitsPer_(bits_per_branch), value_(0)
+    {
+        panicIf(branches * bits_per_branch > 64,
+                "PathRegister wider than 64 bits");
+        panicIf(bits_per_branch == 0, "PathRegister needs >= 1 bit/branch");
+        unsigned total = branches * bits_per_branch;
+        mask_ = total >= 64 ? ~uint64_t(0) : ((uint64_t(1) << total) - 1);
+    }
+
+    /** Total register width in bits. */
+    unsigned width() const { return branches_ * bitsPer_; }
+
+    /** Current path pattern. */
+    uint64_t value() const { return value_; }
+
+    /** Record the address of a newly executed branch. */
+    void
+    push(uint64_t pc)
+    {
+        // Instruction addresses are word aligned; skip the low two bits so
+        // the retained bits actually vary across branches.
+        uint64_t piece = (pc >> 2) & ((uint64_t(1) << bitsPer_) - 1);
+        value_ = ((value_ << bitsPer_) | piece) & mask_;
+    }
+
+    /** Clear all recorded path history. */
+    void clear() { value_ = 0; }
+
+  private:
+    unsigned branches_;
+    unsigned bitsPer_;
+    uint64_t mask_;
+    uint64_t value_;
+};
+
+} // namespace copra
+
+#endif // COPRA_UTIL_SHIFT_REGISTER_HPP

@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace copra {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    if (!rows_.empty() && rows_.back().size() != headers_.size())
+        panic("Table row started before previous row was filled");
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    panicIf(rows_.empty(), "Table::cell before Table::row");
+    panicIf(rows_.back().size() >= headers_.size(),
+            "Table row has too many cells");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << csvEscape(cells[c]);
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(uint64_t numerator, uint64_t denominator, int precision)
+{
+    if (denominator == 0)
+        return "n/a";
+    double pct = 100.0 * static_cast<double>(numerator)
+        / static_cast<double>(denominator);
+    return formatFixed(pct, precision);
+}
+
+} // namespace copra

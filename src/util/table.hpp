@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Aligned ASCII table and CSV emission for the benchmark harnesses. Every
+ * bench binary prints the rows/series of one paper table or figure; this
+ * keeps their formatting uniform.
+ */
+
+#ifndef COPRA_UTIL_TABLE_HPP
+#define COPRA_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace copra {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric helpers
+ * format with fixed precision. Output either as aligned text or CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Number of columns. */
+    size_t columns() const { return headers_.size(); }
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &text);
+
+    /** Append an integer cell. */
+    Table &cell(uint64_t value);
+
+    /** Append a floating point cell with @p precision decimals. */
+    Table &cell(double value, int precision = 2);
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish; commas and quotes escaped). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value as a fixed-precision string. */
+std::string formatFixed(double value, int precision);
+
+/** Format @p numerator / @p denominator as a percentage string. */
+std::string formatPercent(uint64_t numerator, uint64_t denominator,
+                          int precision = 2);
+
+} // namespace copra
+
+#endif // COPRA_UTIL_TABLE_HPP

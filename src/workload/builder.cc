@@ -1,0 +1,468 @@
+#include "workload/builder.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace copra::workload {
+
+namespace {
+
+/**
+ * Builder state: walks the profile with a deterministic RNG, allocating
+ * program counters per function and charging a global static-branch
+ * budget.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const BenchmarkProfile &profile)
+        : profile_(profile), rng_(mix64(profile.buildSeed ^ 0xB111Dull))
+    {
+    }
+
+    Program build();
+
+  private:
+    // Function spacing in the synthetic address space. Deliberately not a
+    // power of two: real linkers pack functions contiguously, so the low
+    // address bits that predictors index with differ across functions. A
+    // power-of-two stride would alias the same-offset branch of every
+    // function into the same BHT/PHT slots, which no real program does.
+    static constexpr uint64_t kFunctionStride = 0x12F74;
+
+    const BenchmarkProfile &profile_;
+    Rng rng_;
+    Program program_;
+    uint64_t nextPc_ = 0;
+    int64_t branchBudget_ = 0;
+    size_t currentFunction_ = 0;
+    unsigned windowBase_ = 0;
+    std::vector<bool> functionCalled_;
+
+    uint64_t allocPc() { uint64_t pc = nextPc_; nextPc_ += 4; return pc; }
+
+    unsigned pickVar();
+    Pred buildPred();
+    TripSpec buildTripSpec();
+    StmtPtr buildStmt(unsigned depth);
+    StmtPtr buildIf(unsigned depth);
+    StmtPtr buildChain(unsigned depth);
+    StmtPtr buildFor(unsigned depth);
+    StmtPtr buildWhile(unsigned depth);
+    StmtPtr buildBlock(unsigned depth, unsigned len_lo, unsigned len_hi);
+    void buildConditionPool();
+};
+
+void
+ProgramBuilder::buildConditionPool()
+{
+    // Every variable consumes exactly the same number of RNG draws no
+    // matter which category it lands in, so changing the category
+    // fractions or bias bands in a profile re-levels the workload
+    // without reshuffling the program structure built afterwards.
+    for (unsigned i = 0; i < profile_.numVars; ++i) {
+        double roll = rng_.uniform();
+        double u = rng_.uniform();
+        double v = rng_.uniform();
+        bool flip = rng_.bernoulli(0.5);
+        uint64_t raw = rng_.next();
+
+        double acc = profile_.fracVarStrongBias;
+        if (roll < acc) {
+            // Strong bias toward one direction.
+            double p = profile_.strongBiasLo +
+                (profile_.strongBiasHi - profile_.strongBiasLo) * u;
+            program_.addCondition(ConditionSpec::biased(flip ? 1 - p : p));
+            continue;
+        }
+        acc += profile_.fracVarModerateBias;
+        if (roll < acc) {
+            double p = profile_.moderateBiasLo +
+                (profile_.moderateBiasHi - profile_.moderateBiasLo) * u;
+            program_.addCondition(ConditionSpec::biased(flip ? 1 - p : p));
+            continue;
+        }
+        acc += profile_.fracVarMarkov;
+        if (roll < acc) {
+            if (raw & 1) {
+                // Order-2 chain: feeds the paper's non-repeating class.
+                program_.addCondition(
+                    ConditionSpec::markov2(0.72 + 0.22 * u));
+            } else {
+                double stay = 0.75 + 0.24 * u;
+                double enter = 0.02 + 0.23 * v;
+                program_.addCondition(ConditionSpec::markov(stay, enter));
+            }
+            continue;
+        }
+        acc += profile_.fracVarPeriodic;
+        if (roll < acc) {
+            unsigned len = 2 + static_cast<unsigned>(u * 6.999);
+            uint32_t pattern = static_cast<uint32_t>(raw);
+            // Guarantee the pattern is not constant.
+            pattern |= 1u;
+            pattern &= ~(1u << (len - 1));
+            program_.addCondition(ConditionSpec::periodic(pattern, len));
+            continue;
+        }
+        // Noise variable: near even split.
+        program_.addCondition(ConditionSpec::biased(0.40 + 0.20 * u));
+    }
+}
+
+unsigned
+ProgramBuilder::pickVar()
+{
+    // Mostly pick from the function's window to concentrate correlation;
+    // occasionally reach into the global pool (cross-module coupling).
+    unsigned window = std::min(profile_.varWindow, profile_.numVars);
+    if (rng_.bernoulli(0.85)) {
+        unsigned off = static_cast<unsigned>(rng_.index(window));
+        return (windowBase_ + off) % profile_.numVars;
+    }
+    return static_cast<unsigned>(rng_.index(profile_.numVars));
+}
+
+Pred
+ProgramBuilder::buildPred()
+{
+    auto literal = [&]() {
+        Pred v = Pred::var(pickVar());
+        return rng_.bernoulli(profile_.predNegate) ? Pred::notOf(v) : v;
+    };
+
+    double roll = rng_.uniform();
+    if (roll < profile_.predThreeVar) {
+        Pred inner = rng_.bernoulli(0.5) ? Pred::andOf(literal(), literal())
+                                         : Pred::orOf(literal(), literal());
+        return rng_.bernoulli(0.5) ? Pred::andOf(inner, literal())
+                                   : Pred::orOf(inner, literal());
+    }
+    if (roll < profile_.predThreeVar + profile_.predTwoVar) {
+        return rng_.bernoulli(0.5) ? Pred::andOf(literal(), literal())
+                                   : Pred::orOf(literal(), literal());
+    }
+    return literal();
+}
+
+TripSpec
+ProgramBuilder::buildTripSpec()
+{
+    // Fixed draw count per site (see buildConditionPool): trip-range or
+    // loop-mix changes re-level loops without reshuffling structure.
+    uint32_t lo = profile_.tripLo;
+    uint32_t hi = std::max(profile_.tripHi, lo);
+    double roll = rng_.uniform();
+    uint32_t a = static_cast<uint32_t>(rng_.range(lo, hi));
+    uint32_t b = static_cast<uint32_t>(rng_.range(lo, hi));
+    if (a > b)
+        std::swap(a, b);
+    if (roll < profile_.fracLoopFixed)
+        return TripSpec::fixed(a);
+    if (roll < profile_.fracLoopFixed + profile_.fracLoopDrift) {
+        if (a == b)
+            b = a + 2;
+        return TripSpec::drift(a, b, profile_.driftPeriod);
+    }
+    return TripSpec::uniform(a, b);
+}
+
+StmtPtr
+ProgramBuilder::buildIf(unsigned depth)
+{
+    uint64_t pc = allocPc();
+    program_.noteStaticBranch();
+    --branchBudget_;
+    Pred pred = buildPred();
+
+    auto then_block = std::make_unique<BlockStmt>();
+    auto else_block = std::make_unique<BlockStmt>();
+
+    // Fig.-1b correlation: the branch outcome *generates* data a later
+    // branch tests, by assigning a variable differently per arm.
+    if (rng_.bernoulli(profile_.fig1bProb)) {
+        unsigned var = pickVar();
+        then_block->append(std::make_unique<AssignStmt>(var, 0.99));
+        else_block->append(std::make_unique<AssignStmt>(var, 0.01));
+    }
+
+    if (depth < profile_.maxDepth && branchBudget_ > 0) {
+        if (auto inner = buildBlock(depth + 1, 0, 2))
+            then_block->append(std::move(inner));
+        if (rng_.bernoulli(0.35)) {
+            if (auto inner = buildBlock(depth + 1, 0, 1))
+                else_block->append(std::move(inner));
+        }
+    }
+
+    StmtPtr then_ptr = then_block->size() ? std::move(then_block) : nullptr;
+    StmtPtr else_ptr = else_block->size() ? std::move(else_block) : nullptr;
+    return std::make_unique<IfStmt>(pc, std::move(pred),
+                                    std::move(then_ptr),
+                                    std::move(else_ptr));
+}
+
+StmtPtr
+ProgramBuilder::buildChain(unsigned depth)
+{
+    unsigned len = static_cast<unsigned>(
+        rng_.range(profile_.chainLenLo, profile_.chainLenHi));
+
+    // Arms test predicates drawn over a small shared variable subset so
+    // that reaching a later arm pins down the earlier conditions
+    // (in-path correlation, paper Fig. 2).
+    std::vector<unsigned> shared;
+    unsigned shared_count = 2 + static_cast<unsigned>(rng_.index(3));
+    for (unsigned i = 0; i < shared_count; ++i)
+        shared.push_back(pickVar());
+
+    // Optionally resample the shared variables immediately before the
+    // chain: arms become unpredictable from their own history but stay
+    // correlated with each other inside the window (paper Fig. 1a).
+    // Resample exactly one shared variable: one fresh bit of entropy per
+    // chain visit keeps global history patterns recurrent (trainable)
+    // while still randomizing each arm's own outcome stream.
+    auto lead_in = std::make_unique<BlockStmt>();
+    if (rng_.bernoulli(profile_.chainResampleProb))
+        lead_in->append(std::make_unique<SampleStmt>(shared.front()));
+
+    auto shared_literal = [&]() {
+        // Weight the first shared variable (the freshly resampled one)
+        // so most arms depend on it and the arms stay tightly coupled.
+        unsigned var = rng_.bernoulli(0.5)
+            ? shared.front() : shared[rng_.index(shared.size())];
+        Pred v = Pred::var(var);
+        return rng_.bernoulli(profile_.predNegate) ? Pred::notOf(v) : v;
+    };
+
+    std::vector<ChainStmt::Arm> arms;
+    for (unsigned i = 0; i < len && branchBudget_ > 0; ++i) {
+        ChainStmt::Arm arm;
+        arm.pc = allocPc();
+        program_.noteStaticBranch();
+        --branchBudget_;
+        arm.pred = rng_.bernoulli(0.6)
+            ? shared_literal()
+            : (rng_.bernoulli(0.5) ? Pred::andOf(shared_literal(),
+                                                 shared_literal())
+                                   : Pred::orOf(shared_literal(),
+                                                shared_literal()));
+        if (depth < profile_.maxDepth && rng_.bernoulli(0.3))
+            arm.block = buildBlock(depth + 1, 0, 1);
+        arms.push_back(std::move(arm));
+    }
+    if (arms.empty())
+        return nullptr;
+
+    StmtPtr else_block;
+    if (depth < profile_.maxDepth && rng_.bernoulli(0.25))
+        else_block = buildBlock(depth + 1, 0, 1);
+    auto chain = std::make_unique<ChainStmt>(std::move(arms),
+                                             std::move(else_block));
+
+    // The paper's branch X (Fig. 1a / Fig. 2): a follow-up branch after
+    // the chain that tests the shared condition on every path. Unlike
+    // the arms (whose in-path pruning makes later arms statically
+    // biased), this branch executes unconditionally, so its outcome is
+    // predictable only through correlation with the arm outcomes in the
+    // global history.
+    StmtPtr follow_up;
+    if (branchBudget_ > 0 && rng_.bernoulli(profile_.chainFollowProb)) {
+        uint64_t pc = allocPc();
+        program_.noteStaticBranch();
+        --branchBudget_;
+        Pred pred = rng_.bernoulli(0.5)
+            ? Pred::andOf(shared_literal(), shared_literal())
+            : Pred::orOf(shared_literal(), shared_literal());
+        follow_up = std::make_unique<IfStmt>(pc, std::move(pred), nullptr,
+                                             nullptr);
+    }
+
+    if (lead_in->size() == 0 && !follow_up)
+        return chain;
+    lead_in->append(std::move(chain));
+    if (follow_up)
+        lead_in->append(std::move(follow_up));
+    return lead_in;
+}
+
+StmtPtr
+ProgramBuilder::buildFor(unsigned depth)
+{
+    uint64_t head_pc = allocPc();
+    size_t site = program_.addTripSite(buildTripSpec());
+
+    auto body = std::make_unique<BlockStmt>();
+    if (rng_.bernoulli(profile_.loopResampleProb))
+        body->append(std::make_unique<SampleStmt>(pickVar()));
+    if (depth < profile_.maxDepth && branchBudget_ > 0) {
+        if (auto inner = buildBlock(depth + 1, 0, 2))
+            body->append(std::move(inner));
+    }
+
+    uint64_t bottom_pc = allocPc();
+    program_.noteStaticBranch();
+    --branchBudget_;
+    StmtPtr body_ptr = body->size() ? std::move(body) : nullptr;
+    return std::make_unique<ForStmt>(head_pc, bottom_pc, site,
+                                     std::move(body_ptr));
+}
+
+StmtPtr
+ProgramBuilder::buildWhile(unsigned depth)
+{
+    uint64_t head_pc = allocPc();
+    program_.noteStaticBranch();
+    --branchBudget_;
+    size_t site = program_.addTripSite(buildTripSpec());
+
+    auto body = std::make_unique<BlockStmt>();
+    if (rng_.bernoulli(profile_.loopResampleProb))
+        body->append(std::make_unique<SampleStmt>(pickVar()));
+    if (depth < profile_.maxDepth && branchBudget_ > 0) {
+        if (auto inner = buildBlock(depth + 1, 0, 2))
+            body->append(std::move(inner));
+    }
+
+    uint64_t jump_pc = allocPc();
+    uint64_t exit_target = jump_pc + 4;
+    StmtPtr body_ptr = body->size() ? std::move(body) : nullptr;
+    return std::make_unique<WhileStmt>(head_pc, exit_target, jump_pc, site,
+                                       std::move(body_ptr));
+}
+
+StmtPtr
+ProgramBuilder::buildStmt(unsigned depth)
+{
+    struct Choice
+    {
+        double weight;
+        StmtPtr (ProgramBuilder::*make)(unsigned);
+    };
+
+    // Sample and Call handled inline below; branching statements only
+    // while budget remains.
+    double w_if = branchBudget_ > 0 ? profile_.wIf : 0.0;
+    double w_chain = branchBudget_ > 0 && depth < profile_.maxDepth
+        ? profile_.wChain : 0.0;
+    double w_for = branchBudget_ > 0 ? profile_.wFor : 0.0;
+    double w_while = branchBudget_ > 0 ? profile_.wWhile : 0.0;
+    double w_call = profile_.numFunctions > 1 ? profile_.wCall : 0.0;
+    double w_sample = profile_.wSample;
+
+    double total = w_if + w_chain + w_for + w_while + w_call + w_sample;
+    if (total <= 0.0)
+        return nullptr;
+    double roll = rng_.uniform() * total;
+
+    if ((roll -= w_if) < 0)
+        return buildIf(depth);
+    if ((roll -= w_chain) < 0)
+        return buildChain(depth);
+    if ((roll -= w_for) < 0)
+        return buildFor(depth);
+    if ((roll -= w_while) < 0)
+        return buildWhile(depth);
+    if ((roll -= w_call) < 0) {
+        // Skewed callee choice: real programs concentrate execution in a
+        // few hot functions, which concentrates dynamic branches in a
+        // small static subset (and keeps table aliasing realistic).
+        double u = rng_.uniform();
+        for (unsigned s = 1; s < profile_.callSkew; ++s)
+            u *= rng_.uniform();
+        size_t callee = 1 + static_cast<size_t>(
+            u * static_cast<double>(profile_.numFunctions - 1));
+        callee = std::min(callee, size_t{profile_.numFunctions - 1});
+        if (callee == currentFunction_)
+            callee = callee % (profile_.numFunctions - 1) + 1;
+        functionCalled_[callee] = true;
+        return std::make_unique<CallStmt>(allocPc(), callee);
+    }
+    return std::make_unique<SampleStmt>(pickVar());
+}
+
+StmtPtr
+ProgramBuilder::buildBlock(unsigned depth, unsigned len_lo, unsigned len_hi)
+{
+    unsigned lo = std::max(len_lo, 1u);
+    unsigned hi = std::max(len_hi, lo);
+    unsigned len = static_cast<unsigned>(rng_.range(lo, hi));
+    auto block = std::make_unique<BlockStmt>();
+    for (unsigned i = 0; i < len; ++i) {
+        if (auto stmt = buildStmt(depth))
+            block->append(std::move(stmt));
+    }
+    if (block->size() == 0)
+        return nullptr;
+    return block;
+}
+
+Program
+ProgramBuilder::build()
+{
+    fatalIf(profile_.numVars == 0, "profile needs at least one variable");
+    fatalIf(profile_.numFunctions == 0, "profile needs a driver function");
+
+    buildConditionPool();
+    branchBudget_ = static_cast<int64_t>(profile_.targetStaticBranches);
+    functionCalled_.assign(profile_.numFunctions, false);
+
+    // Reserve function slots up front so calls can reference any entry pc.
+    std::vector<Function> functions(profile_.numFunctions);
+    for (size_t i = 0; i < functions.size(); ++i)
+        functions[i].entryPc = (i + 1) * kFunctionStride;
+
+    int64_t per_function = std::max<int64_t>(
+        1, branchBudget_ / static_cast<int64_t>(profile_.numFunctions));
+    for (size_t i = 0; i < functions.size(); ++i) {
+        currentFunction_ = i;
+        nextPc_ = functions[i].entryPc;
+        windowBase_ = static_cast<unsigned>(
+            (i * std::max(profile_.varWindow / 2, 1u)) % profile_.numVars);
+
+        int64_t stop_at = branchBudget_ - per_function;
+        auto body = std::make_unique<BlockStmt>();
+        // Functions always resample a couple of their window variables on
+        // entry so call sites see fresh data.
+        body->append(std::make_unique<SampleStmt>(pickVar()));
+        unsigned spins = 0;
+        while (branchBudget_ > stop_at && branchBudget_ > 0) {
+            if (auto stmt = buildBlock(0, profile_.blockLenLo,
+                                       profile_.blockLenHi))
+                body->append(std::move(stmt));
+            // Statement draws are random; bail out if the budget refuses
+            // to move rather than loop forever on a degenerate profile.
+            if (++spins > 100000)
+                break;
+        }
+        functions[i].returnPc = allocPc();
+        functions[i].body = std::move(body);
+    }
+
+    // Guarantee reachability: the driver calls every function nobody else
+    // called.
+    auto *driver = static_cast<BlockStmt *>(functions[0].body.get());
+    for (size_t i = 1; i < functions.size(); ++i) {
+        if (!functionCalled_[i]) {
+            nextPc_ = functions[0].returnPc + 4 * (i + 1);
+            driver->append(std::make_unique<CallStmt>(allocPc(), i));
+        }
+    }
+
+    for (auto &fn : functions)
+        program_.addFunction(std::move(fn));
+    return std::move(program_);
+}
+
+} // namespace
+
+Program
+buildProgram(const BenchmarkProfile &profile)
+{
+    ProgramBuilder builder(profile);
+    return builder.build();
+}
+
+} // namespace copra::workload

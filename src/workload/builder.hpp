@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Random program construction from a benchmark profile.
+ *
+ * A BenchmarkProfile describes the *population statistics* of a workload —
+ * how many static branches, how biased the conditions are, how much
+ * correlation structure, how loopy — and buildProgram() deterministically
+ * expands it into a synthetic Program. The eight SPECint95-like profiles
+ * live in workload/profiles.hpp.
+ */
+
+#ifndef COPRA_WORKLOAD_BUILDER_HPP
+#define COPRA_WORKLOAD_BUILDER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "workload/program.hpp"
+
+namespace copra::workload {
+
+/** Statistical description of a synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name = "synthetic";
+
+    /** Seed for program construction (not for execution). */
+    uint64_t buildSeed = 1;
+
+    // --- Condition variable pool -------------------------------------
+    unsigned numVars = 64;
+    /** Fraction of variables that are strongly biased. */
+    double fracVarStrongBias = 0.30;
+    /** Strong-bias probability range (toward either direction). */
+    double strongBiasLo = 0.97;
+    double strongBiasHi = 0.999;
+    /** Fraction of variables with moderate bias. */
+    double fracVarModerateBias = 0.25;
+    /** Moderate-bias probability range (toward either direction). */
+    double moderateBiasLo = 0.60;
+    double moderateBiasHi = 0.95;
+    /** Fraction of sticky Markov variables (run-structured data). */
+    double fracVarMarkov = 0.20;
+    /** Fraction of periodic variables (repeating input patterns). */
+    double fracVarPeriodic = 0.10;
+    // Remainder: near-50/50 noise variables (unpredictable data).
+
+    // --- Program shape -----------------------------------------------
+    unsigned numFunctions = 10;
+    /** Approximate number of static conditional branch sites. */
+    unsigned targetStaticBranches = 1200;
+    unsigned maxDepth = 4;
+    unsigned blockLenLo = 2;
+    unsigned blockLenHi = 5;
+    /** Per-function variable window width (locality of correlation). */
+    unsigned varWindow = 12;
+
+    // Statement kind weights (relative probabilities).
+    double wIf = 4.0;
+    double wChain = 1.2;
+    double wFor = 1.0;
+    double wWhile = 0.4;
+    double wCall = 0.8;
+    double wSample = 2.5;
+
+    /**
+     * Callee-choice skew: 1 = uniform over functions; higher values
+     * concentrate calls on low-numbered (hot) functions, giving the
+     * Zipf-like execution concentration of real programs.
+     */
+    unsigned callSkew = 2;
+
+    unsigned chainLenLo = 2;
+    unsigned chainLenHi = 5;
+
+    /**
+     * Probability that a chain resamples its shared variables right
+     * before testing them. Fresh values make each arm unpredictable from
+     * its own history while the arms stay mutually correlated — the
+     * purest form of the paper's Fig. 1a direction correlation, and the
+     * structural reason gshare beats PAs on branchy integer code.
+     */
+    double chainResampleProb = 0.5;
+
+    /**
+     * Probability that a chain is followed by the paper's "branch X": an
+     * unconditional follow-up test over the chain's shared variables,
+     * predictable only through global correlation with the arm outcomes.
+     */
+    double chainFollowProb = 0.4;
+
+    // --- Predicates ----------------------------------------------------
+    /** Probability a predicate combines two variables (AND/OR). */
+    double predTwoVar = 0.35;
+    /** Probability a predicate combines three variables. */
+    double predThreeVar = 0.10;
+    /** Probability each literal is negated. */
+    double predNegate = 0.30;
+    /** Probability an If gets Fig.-1b style assignments in its arms. */
+    double fig1bProb = 0.12;
+
+    // --- Loops ---------------------------------------------------------
+    double fracLoopFixed = 0.45;
+    double fracLoopDrift = 0.35; // remainder: uniform random trips
+    uint32_t tripLo = 2;
+    uint32_t tripHi = 10;
+    uint32_t driftPeriod = 24;
+    /** Probability a loop body begins by resampling a window variable. */
+    double loopResampleProb = 0.7;
+};
+
+/**
+ * Deterministically expand @p profile into a Program. The same profile
+ * (including buildSeed) always yields the same program.
+ */
+Program buildProgram(const BenchmarkProfile &profile);
+
+} // namespace copra::workload
+
+#endif // COPRA_WORKLOAD_BUILDER_HPP

@@ -1,0 +1,116 @@
+#include "workload/condition.hpp"
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace copra::workload {
+
+ConditionSpec
+ConditionSpec::biased(double p)
+{
+    ConditionSpec spec;
+    spec.kind = ConditionKind::Biased;
+    spec.p = p;
+    return spec;
+}
+
+ConditionSpec
+ConditionSpec::periodic(uint32_t pattern, unsigned len)
+{
+    panicIf(len == 0 || len > 32, "periodic pattern length must be 1..32");
+    ConditionSpec spec;
+    spec.kind = ConditionKind::Periodic;
+    spec.pattern = pattern;
+    spec.patternLen = len;
+    return spec;
+}
+
+ConditionSpec
+ConditionSpec::markov(double p_stay_true, double p_enter_true)
+{
+    ConditionSpec spec;
+    spec.kind = ConditionKind::Markov;
+    spec.pStayTrue = p_stay_true;
+    spec.pEnterTrue = p_enter_true;
+    return spec;
+}
+
+ConditionSpec
+ConditionSpec::markov2(double p_after_differ)
+{
+    ConditionSpec spec;
+    spec.kind = ConditionKind::Markov2;
+    spec.pAfterDiffer = p_after_differ;
+    return spec;
+}
+
+ConditionSpec
+ConditionSpec::counter(uint32_t mod, uint32_t lt)
+{
+    panicIf(mod == 0, "counter condition needs mod > 0");
+    ConditionSpec spec;
+    spec.kind = ConditionKind::Counter;
+    spec.mod = mod;
+    spec.lt = lt;
+    return spec;
+}
+
+std::string
+ConditionSpec::describe() const
+{
+    switch (kind) {
+      case ConditionKind::Biased:
+        return "biased(p=" + formatFixed(p, 3) + ")";
+      case ConditionKind::Periodic:
+        return "periodic(len=" + std::to_string(patternLen) + ")";
+      case ConditionKind::Markov:
+        return "markov(stay=" + formatFixed(pStayTrue, 2) +
+            ", enter=" + formatFixed(pEnterTrue, 2) + ")";
+      case ConditionKind::Markov2:
+        return "markov2(diff=" + formatFixed(pAfterDiffer, 2) + ")";
+      case ConditionKind::Counter:
+        return "counter(" + std::to_string(lt) + "/" +
+            std::to_string(mod) + ")";
+    }
+    return "unknown";
+}
+
+ConditionSource::ConditionSource(const ConditionSpec &spec, Rng rng)
+    : spec_(spec), rng_(rng)
+{
+}
+
+bool
+ConditionSource::next()
+{
+    bool value = false;
+    switch (spec_.kind) {
+      case ConditionKind::Biased:
+        value = rng_.bernoulli(spec_.p);
+        break;
+      case ConditionKind::Periodic:
+        value = (spec_.pattern >> (count_ % spec_.patternLen)) & 1u;
+        break;
+      case ConditionKind::Markov:
+        value = state_ ? rng_.bernoulli(spec_.pStayTrue)
+                       : rng_.bernoulli(spec_.pEnterTrue);
+        state_ = value;
+        break;
+      case ConditionKind::Markov2:
+        {
+            double p = state_ != state2_ ? spec_.pAfterDiffer
+                                         : 1.0 - spec_.pAfterDiffer;
+            value = rng_.bernoulli(p);
+            state2_ = state_;
+            state_ = value;
+        }
+        break;
+      case ConditionKind::Counter:
+        value = (count_ % spec_.mod) < spec_.lt;
+        break;
+    }
+    ++count_;
+    return value;
+}
+
+} // namespace copra::workload

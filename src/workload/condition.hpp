@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Condition variable sources for the synthetic program model.
+ *
+ * A synthetic program owns a pool of boolean condition variables. Each
+ * variable is backed by a source that produces a new value whenever the
+ * program resamples the variable. Branch predicates are boolean
+ * expressions over the pool, so branches whose predicates share variables
+ * are genuinely correlated (direction correlation, paper Fig. 1a), and
+ * branches inside if-bodies that reassign variables produce
+ * outcome-generated correlation (paper Fig. 1b).
+ */
+
+#ifndef COPRA_WORKLOAD_CONDITION_HPP
+#define COPRA_WORKLOAD_CONDITION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace copra::workload {
+
+/** Kinds of condition variable behaviour. */
+enum class ConditionKind : uint8_t
+{
+    Biased,   //!< independent Bernoulli draws with fixed probability
+    Periodic, //!< cycles through a fixed bit pattern
+    Markov,   //!< sticky boolean with state-dependent flip probabilities
+    Markov2,  //!< order-2 chain: P(true) depends on the last two values
+    Counter,  //!< deterministic function of the sample count
+};
+
+/**
+ * Declarative description of a condition variable. Specs are stored in the
+ * Program; runtime state is created fresh for every execution so traces
+ * are exactly reproducible.
+ */
+struct ConditionSpec
+{
+    ConditionKind kind = ConditionKind::Biased;
+
+    /** Biased: probability of true. */
+    double p = 0.5;
+
+    /** Periodic: pattern bits (bit 0 first) and pattern length (1..32). */
+    uint32_t pattern = 0x1;
+    unsigned patternLen = 2;
+
+    /** Markov: P(true | previous true) and P(true | previous false). */
+    double pStayTrue = 0.9;
+    double pEnterTrue = 0.1;
+
+    /**
+     * Markov2: P(true | last two values differ). P(true | equal) is the
+     * complement, which keeps the marginal near 50% and the order-1
+     * statistics uninformative while the order-2 state predicts well —
+     * the cleanest generator of the paper's non-repeating-pattern class
+     * (predictable from specific previous outcomes, no fixed period).
+     */
+    double pAfterDiffer = 0.8;
+
+    /** Counter: true while (count % mod) < lt. */
+    uint32_t mod = 4;
+    uint32_t lt = 1;
+
+    /** Human-readable description (for debugging / docs). */
+    std::string describe() const;
+
+    static ConditionSpec biased(double p);
+    static ConditionSpec periodic(uint32_t pattern, unsigned len);
+    static ConditionSpec markov(double p_stay_true, double p_enter_true);
+    static ConditionSpec markov2(double p_after_differ);
+    static ConditionSpec counter(uint32_t mod, uint32_t lt);
+};
+
+/**
+ * Runtime sampling state for one condition variable. Construct from a spec
+ * and a per-variable RNG stream; next() yields successive values.
+ */
+class ConditionSource
+{
+  public:
+    ConditionSource(const ConditionSpec &spec, Rng rng);
+
+    /** Draw the next value of the variable. */
+    bool next();
+
+    /** Samples drawn so far. */
+    uint64_t samples() const { return count_; }
+
+  private:
+    ConditionSpec spec_;
+    Rng rng_;
+    uint64_t count_ = 0;
+    bool state_ = false;  // Markov / Markov2 previous value
+    bool state2_ = false; // Markov2 value before that
+};
+
+} // namespace copra::workload
+
+#endif // COPRA_WORKLOAD_CONDITION_HPP

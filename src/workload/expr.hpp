@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Boolean predicate expressions over the condition variable pool.
+ *
+ * Predicates are small expression DAGs stored as a flat node vector.
+ * Branches whose predicates reference the same variables are correlated
+ * exactly as in the paper's motivating examples: `if (c1)` followed by
+ * `if (c1 && c2)` (Fig. 1a), or else-if chains over related conditions
+ * (Fig. 2).
+ */
+
+#ifndef COPRA_WORKLOAD_EXPR_HPP
+#define COPRA_WORKLOAD_EXPR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace copra::workload {
+
+/** Predicate over boolean variables, encoded as a flat expression tree. */
+class Pred
+{
+  public:
+    /** Node operators. */
+    enum class Op : uint8_t { Var, Not, And, Or };
+
+    /** A literal variable reference. */
+    static Pred var(unsigned index);
+
+    /** Negation. */
+    static Pred notOf(const Pred &a);
+
+    /** Conjunction. */
+    static Pred andOf(const Pred &a, const Pred &b);
+
+    /** Disjunction. */
+    static Pred orOf(const Pred &a, const Pred &b);
+
+    /** Evaluate over the variable values @p vars. */
+    bool eval(const std::vector<uint8_t> &vars) const;
+
+    /** Indices of every variable referenced (with duplicates removed). */
+    std::vector<unsigned> variables() const;
+
+    /** Number of expression nodes. */
+    size_t size() const { return nodes_.size(); }
+
+    /** True when no nodes exist (never the case for built predicates). */
+    bool empty() const { return nodes_.empty(); }
+
+    /** Render as a string like "(v1 & !v2)". */
+    std::string toString() const;
+
+  private:
+    struct Node
+    {
+        Op op;
+        uint32_t a; // Var: variable index; Not/And/Or: child node index
+        uint32_t b; // And/Or: second child node index
+    };
+
+    /** Append another predicate's nodes, returning its new root index. */
+    uint32_t absorb(const Pred &other);
+
+    bool evalNode(uint32_t idx, const std::vector<uint8_t> &vars) const;
+    std::string nodeString(uint32_t idx) const;
+
+    std::vector<Node> nodes_; // root is the last node
+};
+
+} // namespace copra::workload
+
+#endif // COPRA_WORKLOAD_EXPR_HPP

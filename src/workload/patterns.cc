@@ -1,0 +1,139 @@
+#include "workload/patterns.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace copra::workload {
+
+using trace::BranchKind;
+using trace::BranchRecord;
+using trace::Trace;
+
+Trace
+loopTrace(uint64_t pc, uint32_t trip, uint32_t invocations)
+{
+    panicIf(trip == 0, "loopTrace needs trip >= 1");
+    Trace out("loop");
+    uint64_t head = pc >= 64 ? pc - 64 : 0;
+    for (uint32_t inv = 0; inv < invocations; ++inv)
+        for (uint32_t i = 0; i < trip; ++i)
+            out.append({pc, head, BranchKind::Conditional, i + 1 < trip});
+    return out;
+}
+
+Trace
+whileTrace(uint64_t pc, uint32_t trip, uint32_t invocations)
+{
+    Trace out("while");
+    for (uint32_t inv = 0; inv < invocations; ++inv) {
+        for (uint32_t i = 0; i < trip; ++i)
+            out.append({pc, pc + 64, BranchKind::Conditional, false});
+        out.append({pc, pc + 64, BranchKind::Conditional, true});
+    }
+    return out;
+}
+
+Trace
+periodicTrace(uint64_t pc, const std::vector<bool> &pattern, uint32_t repeats)
+{
+    panicIf(pattern.empty(), "periodicTrace needs a non-empty pattern");
+    Trace out("periodic");
+    for (uint32_t rep = 0; rep < repeats; ++rep)
+        for (bool bit : pattern)
+            out.append({pc, pc + 64, BranchKind::Conditional, bit});
+    return out;
+}
+
+Trace
+blockPatternTrace(uint64_t pc, uint32_t n, uint32_t m, uint32_t repeats)
+{
+    panicIf(n == 0 || m == 0, "blockPatternTrace needs n, m >= 1");
+    Trace out("block");
+    for (uint32_t rep = 0; rep < repeats; ++rep) {
+        for (uint32_t i = 0; i < n; ++i)
+            out.append({pc, pc + 64, BranchKind::Conditional, true});
+        for (uint32_t i = 0; i < m; ++i)
+            out.append({pc, pc + 64, BranchKind::Conditional, false});
+    }
+    return out;
+}
+
+Trace
+biasedTrace(uint64_t pc, double p, uint64_t count, uint64_t seed)
+{
+    Trace out("biased");
+    Rng rng(seed);
+    for (uint64_t i = 0; i < count; ++i)
+        out.append({pc, pc + 64, BranchKind::Conditional, rng.bernoulli(p)});
+    return out;
+}
+
+Trace
+correlatedPairTrace(uint64_t pc_y, uint64_t pc_x, double p1, double p2,
+                    uint64_t pairs, uint64_t seed)
+{
+    Trace out("fig1a");
+    Rng rng(seed);
+    for (uint64_t i = 0; i < pairs; ++i) {
+        bool cond1 = rng.bernoulli(p1);
+        bool cond2 = rng.bernoulli(p2);
+        out.append({pc_y, pc_y + 64, BranchKind::Conditional, cond1});
+        out.append({pc_x, pc_x + 64, BranchKind::Conditional,
+                    cond1 && cond2});
+    }
+    return out;
+}
+
+Trace
+inPathTrace(uint64_t base_pc, double p1, double p2, double p3,
+            uint64_t iterations, uint64_t seed)
+{
+    Trace out("fig2");
+    Rng rng(seed);
+    uint64_t pc_y = base_pc;
+    uint64_t pc_z = base_pc + 4;
+    uint64_t pc_v = base_pc + 8;
+    uint64_t pc_x = base_pc + 64;
+    for (uint64_t i = 0; i < iterations; ++i) {
+        bool cond1 = rng.bernoulli(p1);
+        bool cond2 = rng.bernoulli(p2);
+        bool cond3 = rng.bernoulli(p3);
+        // else-if chain: if (!cond1) ... else if (!cond2) ... else if
+        // (cond3) ...; each arm's branch executes only if all earlier
+        // arms fell through.
+        out.append({pc_y, pc_y + 128, BranchKind::Conditional, !cond1});
+        if (cond1) {
+            out.append({pc_z, pc_z + 128, BranchKind::Conditional, !cond2});
+            if (cond2) {
+                out.append({pc_v, pc_v + 128, BranchKind::Conditional,
+                            cond3});
+            }
+        }
+        out.append({pc_x, pc_x + 128, BranchKind::Conditional,
+                    cond1 && cond2});
+        // Close the iteration with a backward jump so method-B tagging
+        // (backward-transfer counting) can pin instances to iterations.
+        out.append({pc_x + 4, base_pc, BranchKind::Jump, true});
+    }
+    return out;
+}
+
+Trace
+interleave(const std::vector<Trace> &traces)
+{
+    Trace out("interleaved");
+    std::vector<size_t> cursor(traces.size(), 0);
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (size_t t = 0; t < traces.size(); ++t) {
+            if (cursor[t] < traces[t].size()) {
+                out.append(traces[t][cursor[t]++]);
+                progressed = true;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace copra::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hand-crafted trace generators with exactly known behaviour, used by the
+ * test suite and the quickstart example. Each generator produces the
+ * canonical form of one of the paper's branch behaviour classes.
+ */
+
+#ifndef COPRA_WORKLOAD_PATTERNS_HPP
+#define COPRA_WORKLOAD_PATTERNS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace copra::workload {
+
+/**
+ * A for-type loop branch (paper §4.1.1): taken @p trip - 1 times then
+ * not-taken once, repeated @p invocations times. Backward branch.
+ */
+trace::Trace loopTrace(uint64_t pc, uint32_t trip, uint32_t invocations);
+
+/**
+ * A while-type loop branch: not-taken @p trip times then taken once per
+ * invocation (the exit test), repeated @p invocations times.
+ */
+trace::Trace whileTrace(uint64_t pc, uint32_t trip, uint32_t invocations);
+
+/**
+ * A branch following the fixed repeating outcome @p pattern (paper
+ * §4.1.2), cycled @p repeats times.
+ */
+trace::Trace periodicTrace(uint64_t pc, const std::vector<bool> &pattern,
+                           uint32_t repeats);
+
+/**
+ * A block-pattern branch (paper §4.1.2): taken @p n times, not-taken
+ * @p m times, repeated @p repeats times.
+ */
+trace::Trace blockPatternTrace(uint64_t pc, uint32_t n, uint32_t m,
+                               uint32_t repeats);
+
+/** A branch taken with independent probability @p p, @p count times. */
+trace::Trace biasedTrace(uint64_t pc, double p, uint64_t count,
+                         uint64_t seed);
+
+/**
+ * The paper's Fig. 1a: branch Y tests cond1; branch X tests
+ * cond1 AND cond2. Emitted as alternating Y, X records for @p pairs
+ * iterations with cond1/cond2 drawn Bernoulli(p1)/Bernoulli(p2).
+ */
+trace::Trace correlatedPairTrace(uint64_t pc_y, uint64_t pc_x, double p1,
+                                 double p2, uint64_t pairs, uint64_t seed);
+
+/**
+ * The paper's Fig. 2 (in-path correlation): an else-if chain over cond1,
+ * cond2, cond3 followed by branch X testing cond1 AND cond2. Reaching the
+ * third arm implies X will be taken.
+ */
+trace::Trace inPathTrace(uint64_t base_pc, double p1, double p2, double p3,
+                         uint64_t iterations, uint64_t seed);
+
+/**
+ * Interleave several traces round-robin into one trace (one record from
+ * each non-exhausted input per turn). Useful for building multi-branch
+ * test scenarios from single-branch generators.
+ */
+trace::Trace interleave(const std::vector<trace::Trace> &traces);
+
+} // namespace copra::workload
+
+#endif // COPRA_WORKLOAD_PATTERNS_HPP

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Synthetic program model: a control-flow AST over the condition pool
+ * whose execution emits a branch trace.
+ *
+ * The model reproduces the branch behaviour classes the paper analyzes:
+ *  - If / else-if chains over shared predicates: direction and in-path
+ *    correlation (paper Figs. 1 and 2).
+ *  - Variable reassignment inside taken paths: outcome-generated
+ *    correlation (paper Fig. 1b).
+ *  - For loops (bottom-test backward branch, taken t-1 times then
+ *    not-taken) and While loops (top-test exit branch, not-taken while
+ *    iterating): the loop-type per-address class (paper §4.1.1).
+ *  - Periodic / Markov condition variables: repeating and non-repeating
+ *    pattern classes (paper §4.1.2-4.1.3).
+ *  - Subroutine calls: call-site-dependent (in-path) behaviour.
+ */
+
+#ifndef COPRA_WORKLOAD_PROGRAM_HPP
+#define COPRA_WORKLOAD_PROGRAM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "workload/condition.hpp"
+#include "workload/expr.hpp"
+
+namespace copra::workload {
+
+class Program;
+
+/** How a loop's trip count evolves across invocations. */
+struct TripSpec
+{
+    enum class Kind : uint8_t
+    {
+        Fixed,   //!< always the same trip count
+        Drift,   //!< random walk within [lo, hi], stepping every period-th
+                 //!< invocation ("n changes infrequently", paper §4.1.1)
+        Uniform, //!< fresh uniform draw in [lo, hi] per invocation
+    };
+
+    Kind kind = Kind::Fixed;
+    uint32_t lo = 4;
+    uint32_t hi = 4;
+    uint32_t period = 16; // Drift: invocations between steps
+
+    static TripSpec fixed(uint32_t n);
+    static TripSpec drift(uint32_t lo, uint32_t hi, uint32_t period);
+    static TripSpec uniform(uint32_t lo, uint32_t hi);
+};
+
+/** Runtime trip-count state for one loop site. */
+class TripState
+{
+  public:
+    TripState(const TripSpec &spec, Rng rng);
+
+    /** Trip count for the next loop invocation (always >= 1). */
+    uint32_t next();
+
+  private:
+    TripSpec spec_;
+    Rng rng_;
+    uint32_t current_;
+    uint32_t invocations_ = 0;
+};
+
+/**
+ * Execution context threaded through the AST walk. Owns variable values,
+ * live condition sources, loop trip states, and the output trace.
+ */
+class ExecContext
+{
+  public:
+    ExecContext(const Program &program, trace::Trace &out,
+                uint64_t budget_conditionals, uint64_t seed);
+
+    /** True once the conditional-branch budget has been emitted. */
+    bool done() const { return done_; }
+
+    /** Emit a conditional branch record and charge the budget. */
+    void emitConditional(uint64_t pc, uint64_t target, bool taken);
+
+    /** Emit a non-conditional control transfer record. */
+    void emitOther(uint64_t pc, uint64_t target, trace::BranchKind kind);
+
+    /** Resample variable @p var from its condition source. */
+    void sample(unsigned var);
+
+    /** Directly assign variable @p var from a Bernoulli(p) draw. */
+    void assign(unsigned var, double p);
+
+    /** Current variable values (0/1). */
+    const std::vector<uint8_t> &vars() const { return vars_; }
+
+    /** Trip state for loop site @p site. */
+    TripState &tripState(size_t site) { return trips_[site]; }
+
+    /** Current call depth (for bounding recursion). */
+    unsigned callDepth = 0;
+
+    /** Maximum call depth before calls are skipped. */
+    static constexpr unsigned maxCallDepth = 12;
+
+    const Program &program;
+
+  private:
+    trace::Trace &out_;
+    uint64_t budget_;
+    uint64_t emitted_ = 0;
+    bool done_ = false;
+    std::vector<uint8_t> vars_;
+    std::vector<ConditionSource> sources_;
+    std::vector<TripState> trips_;
+    Rng assignRng_;
+};
+
+/** Base class for program statements. */
+class Stmt
+{
+  public:
+    virtual ~Stmt() = default;
+
+    /** Execute the statement, emitting branch records into @p ctx. */
+    virtual void exec(ExecContext &ctx) const = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A straight-line sequence of statements. */
+class BlockStmt : public Stmt
+{
+  public:
+    void append(StmtPtr stmt) { stmts_.push_back(std::move(stmt)); }
+    size_t size() const { return stmts_.size(); }
+    void exec(ExecContext &ctx) const override;
+
+  private:
+    std::vector<StmtPtr> stmts_;
+};
+
+/** Resample one condition variable from its source. */
+class SampleStmt : public Stmt
+{
+  public:
+    explicit SampleStmt(unsigned var) : var_(var) {}
+    void exec(ExecContext &ctx) const override { ctx.sample(var_); }
+
+  private:
+    unsigned var_;
+};
+
+/**
+ * Assign a variable from a fixed-bias draw. Placed inside if-bodies by the
+ * builder to create outcome-generated correlation (paper Fig. 1b).
+ */
+class AssignStmt : public Stmt
+{
+  public:
+    AssignStmt(unsigned var, double p) : var_(var), p_(p) {}
+    void exec(ExecContext &ctx) const override { ctx.assign(var_, p_); }
+
+  private:
+    unsigned var_;
+    double p_;
+};
+
+/** An if/else: one conditional branch, taken iff the predicate holds. */
+class IfStmt : public Stmt
+{
+  public:
+    IfStmt(uint64_t pc, Pred pred, StmtPtr then_block, StmtPtr else_block)
+        : pc_(pc), pred_(std::move(pred)),
+          then_(std::move(then_block)), else_(std::move(else_block))
+    {
+    }
+
+    void exec(ExecContext &ctx) const override;
+    uint64_t pc() const { return pc_; }
+    const Pred &pred() const { return pred_; }
+
+  private:
+    uint64_t pc_;
+    Pred pred_;
+    StmtPtr then_; // may be null
+    StmtPtr else_; // may be null
+};
+
+/**
+ * An else-if chain: arms are tested in order; each test emits a branch
+ * taken iff its predicate holds; the first true arm's block runs and the
+ * rest are skipped. Reaching a later arm implies every earlier predicate
+ * was false — the paper's in-path correlation (Fig. 2).
+ */
+class ChainStmt : public Stmt
+{
+  public:
+    struct Arm
+    {
+        uint64_t pc;
+        Pred pred;
+        StmtPtr block; // may be null
+    };
+
+    explicit ChainStmt(std::vector<Arm> arms, StmtPtr else_block)
+        : arms_(std::move(arms)), else_(std::move(else_block))
+    {
+    }
+
+    void exec(ExecContext &ctx) const override;
+    size_t armCount() const { return arms_.size(); }
+
+  private:
+    std::vector<Arm> arms_;
+    StmtPtr else_; // may be null
+};
+
+/**
+ * A bottom-test counted loop ("for-type", paper §4.1.1). The loop-closing
+ * branch at the bottom is backward (target = loop head) and is taken
+ * trip-1 times, then not-taken once. The body always runs at least once.
+ */
+class ForStmt : public Stmt
+{
+  public:
+    ForStmt(uint64_t head_pc, uint64_t bottom_pc, size_t trip_site,
+            StmtPtr body)
+        : headPc_(head_pc), bottomPc_(bottom_pc), tripSite_(trip_site),
+          body_(std::move(body))
+    {
+    }
+
+    void exec(ExecContext &ctx) const override;
+
+  private:
+    uint64_t headPc_;
+    uint64_t bottomPc_;
+    size_t tripSite_;
+    StmtPtr body_; // may be null
+};
+
+/**
+ * A top-test loop ("while-type", paper §4.1.1). The exit branch at the top
+ * is forward and is not-taken trip times (keep looping), then taken once
+ * (exit). An unconditional backward jump closes each iteration.
+ */
+class WhileStmt : public Stmt
+{
+  public:
+    WhileStmt(uint64_t head_pc, uint64_t exit_target, uint64_t jump_pc,
+              size_t trip_site, StmtPtr body)
+        : headPc_(head_pc), exitTarget_(exit_target), jumpPc_(jump_pc),
+          tripSite_(trip_site), body_(std::move(body))
+    {
+    }
+
+    void exec(ExecContext &ctx) const override;
+
+  private:
+    uint64_t headPc_;
+    uint64_t exitTarget_;
+    uint64_t jumpPc_;
+    size_t tripSite_;
+    StmtPtr body_; // may be null
+};
+
+/** A call to another function in the program. */
+class CallStmt : public Stmt
+{
+  public:
+    CallStmt(uint64_t pc, size_t callee) : pc_(pc), callee_(callee) {}
+    void exec(ExecContext &ctx) const override;
+
+  private:
+    uint64_t pc_;
+    size_t callee_;
+};
+
+/** A function: an entry address and a body. */
+struct Function
+{
+    uint64_t entryPc = 0;
+    uint64_t returnPc = 0;
+    StmtPtr body;
+};
+
+/**
+ * A complete synthetic program: condition pool, loop trip sites, and a
+ * set of functions. Function 0 is the driver; Program::run executes it
+ * repeatedly until the requested number of conditional branches has been
+ * emitted.
+ */
+class Program
+{
+  public:
+    /** Append a condition variable; returns its index. */
+    unsigned addCondition(const ConditionSpec &spec);
+
+    /** Append a loop trip site; returns its index. */
+    size_t addTripSite(const TripSpec &spec);
+
+    /** Append a function; returns its index. */
+    size_t addFunction(Function fn);
+
+    size_t conditionCount() const { return conditions_.size(); }
+    size_t tripSiteCount() const { return tripSites_.size(); }
+    size_t functionCount() const { return functions_.size(); }
+
+    const ConditionSpec &condition(size_t i) const { return conditions_[i]; }
+    const TripSpec &tripSite(size_t i) const { return tripSites_[i]; }
+    const Function &function(size_t i) const { return functions_[i]; }
+
+    /** Static conditional branch sites created by the builder. */
+    uint64_t staticBranchCount() const { return staticBranches_; }
+
+    /** Record that the builder created one more static branch site. */
+    void noteStaticBranch() { ++staticBranches_; }
+
+    /**
+     * Execute the program deterministically and return the emitted trace.
+     *
+     * @param name Trace name to record.
+     * @param budget_conditionals Stop after this many conditional branches.
+     * @param seed Seed for all runtime randomness (condition sources, trip
+     *             counts, assignments).
+     */
+    trace::Trace run(const std::string &name, uint64_t budget_conditionals,
+                     uint64_t seed) const;
+
+  private:
+    std::vector<ConditionSpec> conditions_;
+    std::vector<TripSpec> tripSites_;
+    std::vector<Function> functions_;
+    uint64_t staticBranches_ = 0;
+};
+
+} // namespace copra::workload
+
+#endif // COPRA_WORKLOAD_PROGRAM_HPP

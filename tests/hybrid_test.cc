@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the hybrid (tournament) predictor, the ideal static
+ * predictor, and the path-based predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/hybrid.hpp"
+#include "predictor/ideal_static.hpp"
+#include "predictor/path_based.hpp"
+#include "predictor/static_pred.hpp"
+#include "predictor/two_level.hpp"
+#include "sim/driver.hpp"
+#include "trace/trace_stats.hpp"
+#include "workload/patterns.hpp"
+
+namespace copra::predictor {
+namespace {
+
+trace::BranchRecord
+cond(uint64_t pc, bool taken, uint64_t target = 0)
+{
+    return {pc, target ? target : pc + 64,
+            trace::BranchKind::Conditional, taken};
+}
+
+TEST(Hybrid, ChooserLearnsPerBranchWinner)
+{
+    // Component A: always-taken; component B: always-not-taken.
+    // Branch 0x100 is always taken, branch 0x200 never: the chooser must
+    // route each branch to the right component.
+    Hybrid hybrid(std::make_unique<AlwaysTaken>(),
+                  std::make_unique<AlwaysNotTaken>(), 10);
+    auto a = workload::biasedTrace(0x100, 1.0, 500, 1);
+    auto b = workload::biasedTrace(0x200, 0.0, 500, 2);
+    auto trace = workload::interleave({a, b});
+    sim::Ledger ledger;
+    sim::run(trace, hybrid, &ledger);
+    EXPECT_GT(100.0 * ledger.branch(0x100).accuracy(), 99.0);
+    EXPECT_GT(100.0 * ledger.branch(0x200).accuracy(), 98.0);
+}
+
+TEST(Hybrid, ApproachesBetterComponentOnMixedWorkload)
+{
+    // gshare is good at the correlated pair; a loop-only trace favours
+    // the per-address side. The hybrid should approach the per-branch
+    // max of its components.
+    auto corr = workload::correlatedPairTrace(0x100, 0x200, 0.5, 0.9,
+                                              5000, 3);
+    auto loop = workload::loopTrace(0x300, 20, 600);
+    auto trace = workload::interleave({corr, loop});
+
+    auto make_gshare = [] {
+        return std::make_unique<TwoLevel>(TwoLevelConfig::gshare(12));
+    };
+    auto make_pas = [] {
+        return std::make_unique<TwoLevel>(TwoLevelConfig::pas(12, 8, 2));
+    };
+
+    auto g_res = sim::run(trace, *make_gshare());
+    auto p_res = sim::run(trace, *make_pas());
+    Hybrid hybrid(make_gshare(), make_pas(), 10);
+    auto h_res = sim::run(trace, hybrid);
+
+    double best = std::max(g_res.accuracyPercent(),
+                           p_res.accuracyPercent());
+    EXPECT_GT(h_res.accuracyPercent(), best - 1.0);
+}
+
+TEST(Hybrid, BothComponentsAlwaysTrain)
+{
+    // After running a taken-only branch, both components predict taken
+    // even though the chooser consulted only one of them.
+    auto a = std::make_unique<TwoLevel>(TwoLevelConfig::gshare(8));
+    auto b = std::make_unique<TwoLevel>(TwoLevelConfig::pas(8, 4, 2));
+    TwoLevel *pa = a.get();
+    TwoLevel *pb = b.get();
+    Hybrid hybrid(std::move(a), std::move(b), 8);
+    for (int i = 0; i < 10; ++i) {
+        hybrid.predict(cond(0x100, true));
+        hybrid.update(cond(0x100, true), true);
+    }
+    EXPECT_TRUE(pa->predict(cond(0x100, true)));
+    EXPECT_TRUE(pb->predict(cond(0x100, true)));
+}
+
+TEST(Hybrid, NameCombinesComponents)
+{
+    Hybrid hybrid(std::make_unique<AlwaysTaken>(),
+                  std::make_unique<AlwaysNotTaken>(), 4);
+    EXPECT_EQ(hybrid.name(), "hybrid(always-taken,always-not-taken)");
+}
+
+TEST(Hybrid, ResetRestoresNeutralChooser)
+{
+    Hybrid hybrid(std::make_unique<AlwaysTaken>(),
+                  std::make_unique<AlwaysNotTaken>(), 4);
+    // Train the chooser toward component B on this branch.
+    for (int i = 0; i < 8; ++i) {
+        hybrid.predict(cond(0x100, false));
+        hybrid.update(cond(0x100, false), false);
+    }
+    EXPECT_FALSE(hybrid.predict(cond(0x100, false)));
+    hybrid.reset();
+    // Neutral chooser leans to component A (always taken).
+    EXPECT_TRUE(hybrid.predict(cond(0x100, false)));
+}
+
+TEST(IdealStatic, PredictsMajorityDirection)
+{
+    trace::Trace t;
+    for (int i = 0; i < 7; ++i)
+        t.append(cond(0x100, true));
+    for (int i = 0; i < 3; ++i)
+        t.append(cond(0x100, false));
+    for (int i = 0; i < 9; ++i)
+        t.append(cond(0x200, false));
+
+    IdealStatic pred = IdealStatic::fromTrace(t);
+    EXPECT_EQ(pred.branches(), 2u);
+    EXPECT_TRUE(pred.predict(cond(0x100, true)));
+    EXPECT_FALSE(pred.predict(cond(0x200, true)));
+    // Unprofiled branches default to taken.
+    EXPECT_TRUE(pred.predict(cond(0x999, true)));
+}
+
+TEST(IdealStatic, AccuracyEqualsPerBranchMajority)
+{
+    auto trace = workload::biasedTrace(0x100, 0.8, 10000, 7);
+    IdealStatic pred = IdealStatic::fromTrace(trace);
+    auto result = sim::run(trace, pred);
+    trace::TraceStats stats(trace);
+    EXPECT_EQ(result.correct, stats.idealStaticCorrect());
+}
+
+TEST(IdealStatic, TieGoesToTaken)
+{
+    trace::Trace t;
+    t.append(cond(0x100, true));
+    t.append(cond(0x100, false));
+    IdealStatic pred = IdealStatic::fromTrace(t);
+    EXPECT_TRUE(pred.predict(cond(0x100, false)));
+}
+
+TEST(PathBased, LearnsPathDependentBranch)
+{
+    // The paper's in-path example: reaching X through different paths
+    // determines X. Path history separates the contexts even when the
+    // outcome history alone might alias them.
+    PathBased pred(8, 4, 14);
+    auto trace = workload::inPathTrace(0x100, 0.5, 0.5, 0.5, 8000, 13);
+    sim::Ledger ledger;
+    sim::run(trace, pred, &ledger);
+    // Branch X (base + 64) is fully determined by the path.
+    EXPECT_GT(100.0 * ledger.branch(0x140).accuracy(), 90.0);
+}
+
+TEST(PathBased, ResetForgets)
+{
+    PathBased pred(4, 2, 10);
+    for (int i = 0; i < 8; ++i)
+        pred.update(cond(0x100, true), true);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(cond(0x100, true)));
+}
+
+TEST(PathBased, NameMentionsGeometry)
+{
+    EXPECT_EQ(PathBased(8, 2, 16).name(), "path(8x2b)");
+}
+
+TEST(HybridDeath, NullComponentsAreFatal)
+{
+    EXPECT_EXIT(Hybrid(nullptr, std::make_unique<AlwaysTaken>(), 4),
+                ::testing::ExitedWithCode(1), "two components");
+}
+
+} // namespace
+} // namespace copra::predictor

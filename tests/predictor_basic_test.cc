@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for static predictors, the bimodal predictor, and the
+ * predictor factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/bimodal.hpp"
+#include "predictor/factory.hpp"
+#include "predictor/static_pred.hpp"
+#include "sim/driver.hpp"
+#include "workload/patterns.hpp"
+
+namespace copra::predictor {
+namespace {
+
+trace::BranchRecord
+cond(uint64_t pc, bool taken = true, uint64_t target = 0)
+{
+    return {pc, target ? target : pc + 64,
+            trace::BranchKind::Conditional, taken};
+}
+
+TEST(StaticPredictors, AlwaysTakenAndNotTaken)
+{
+    AlwaysTaken t;
+    AlwaysNotTaken n;
+    EXPECT_TRUE(t.predict(cond(0x100)));
+    EXPECT_FALSE(n.predict(cond(0x100)));
+    // Updates have no effect.
+    t.update(cond(0x100), false);
+    n.update(cond(0x100), true);
+    EXPECT_TRUE(t.predict(cond(0x100)));
+    EXPECT_FALSE(n.predict(cond(0x100)));
+}
+
+TEST(StaticPredictors, BtfntFollowsDirection)
+{
+    Btfnt b;
+    EXPECT_TRUE(b.predict(cond(0x200, true, 0x100)));  // backward
+    EXPECT_FALSE(b.predict(cond(0x100, true, 0x200))); // forward
+}
+
+TEST(Bimodal, LearnsABiasedBranch)
+{
+    Bimodal pred(10);
+    auto trace = workload::biasedTrace(0x100, 0.95, 2000, 5);
+    auto result = sim::run(trace, pred);
+    EXPECT_GT(result.accuracyPercent(), 90.0);
+}
+
+TEST(Bimodal, HysteresisSurvivesSingleAnomaly)
+{
+    Bimodal pred(8);
+    for (int i = 0; i < 4; ++i)
+        pred.update(cond(0x100), true);
+    pred.update(cond(0x100), false); // one not-taken
+    EXPECT_TRUE(pred.predict(cond(0x100))); // still predicts taken
+}
+
+TEST(Bimodal, AliasingIsReal)
+{
+    // Two branches 2^bits apart share a counter in a small table.
+    Bimodal pred(4);
+    uint64_t pc_a = 0x100;
+    uint64_t pc_b = 0x100 + (1u << 4) * 4; // same index after >> 2
+    for (int i = 0; i < 4; ++i)
+        pred.update(cond(pc_a), true);
+    EXPECT_TRUE(pred.predict(cond(pc_b)));
+    for (int i = 0; i < 4; ++i)
+        pred.update(cond(pc_b), false);
+    EXPECT_FALSE(pred.predict(cond(pc_a)));
+}
+
+TEST(Bimodal, ResetForgets)
+{
+    Bimodal pred(8);
+    for (int i = 0; i < 4; ++i)
+        pred.update(cond(0x100), true);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(cond(0x100))); // back to weakly-not-taken
+}
+
+TEST(Bimodal, TableSizeMatchesBits)
+{
+    EXPECT_EQ(Bimodal(6).tableSize(), 64u);
+    EXPECT_EQ(Bimodal(12).tableSize(), 4096u);
+}
+
+TEST(Bimodal, NameMentionsGeometry)
+{
+    EXPECT_EQ(Bimodal(12).name(), "bimodal(12b)");
+}
+
+class FactoryNames : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FactoryNames, ConstructsAndRuns)
+{
+    PredictorPtr pred = makePredictor(GetParam());
+    ASSERT_NE(pred, nullptr);
+    EXPECT_FALSE(pred->name().empty());
+    auto trace = workload::biasedTrace(0x100, 0.9, 500, 3);
+    auto result = sim::run(trace, *pred);
+    EXPECT_EQ(result.dynamicBranches, 500u);
+    pred->reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnown, FactoryNames,
+                         ::testing::ValuesIn(knownPredictors()));
+
+TEST(Factory, ParsesParameters)
+{
+    PredictorPtr gshare = makePredictor("gshare:h=10");
+    EXPECT_NE(gshare->name().find("h=10"), std::string::npos);
+    PredictorPtr pas = makePredictor("pas:h=8,bht=6,s=2");
+    EXPECT_NE(pas->name().find("h=8"), std::string::npos);
+    PredictorPtr fixed = makePredictor("fixed:k=7");
+    EXPECT_NE(fixed->name().find("7"), std::string::npos);
+}
+
+TEST(Factory, HybridInnerSpecs)
+{
+    PredictorPtr h = makePredictor("hybrid:a=gshare.h=10,b=bimodal.bits=8");
+    EXPECT_NE(h->name().find("gshare(h=10)"), std::string::npos);
+    EXPECT_NE(h->name().find("bimodal(8b)"), std::string::npos);
+}
+
+TEST(FactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makePredictor("perceptron"),
+                ::testing::ExitedWithCode(1), "unknown predictor");
+}
+
+TEST(FactoryDeath, MalformedParameterIsFatal)
+{
+    EXPECT_EXIT(makePredictor("gshare:h"), ::testing::ExitedWithCode(1),
+                "malformed");
+    EXPECT_EXIT(makePredictor("gshare:h=abc"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+} // namespace
+} // namespace copra::predictor

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG used by workload synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace copra {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability)
+{
+    Rng rng(13);
+    for (double p : {0.1, 0.5, 0.9, 0.99}) {
+        int hits = 0;
+        const int n = 100000;
+        for (int i = 0; i < n; ++i)
+            if (rng.bernoulli(p))
+                ++hits;
+        EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01)
+            << "p=" << p;
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(17);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.range(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all five values appear
+}
+
+TEST(Rng, RangeSingleton)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.range(5, 5), 5u);
+}
+
+TEST(Rng, IndexStaysBelowBound)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.index(10), 10u);
+}
+
+TEST(Rng, GeometricRespectsBounds)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.geometric(2, 9, 0.5);
+        ASSERT_GE(v, 2u);
+        ASSERT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The child stream differs from the parent's continuing stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent.next() == child.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(37), b(37);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(ca.next(), cb.next());
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Hamming distance between mixes of adjacent inputs should be large.
+    uint64_t x = mix64(100) ^ mix64(101);
+    int bits = __builtin_popcountll(x);
+    EXPECT_GT(bits, 16);
+}
+
+TEST(Splitmix64, AdvancesState)
+{
+    uint64_t s = 9;
+    uint64_t first = splitmix64(s);
+    uint64_t second = splitmix64(s);
+    EXPECT_NE(first, second);
+}
+
+} // namespace
+} // namespace copra

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for condition sources and predicate expressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/condition.hpp"
+#include "workload/expr.hpp"
+
+namespace copra::workload {
+namespace {
+
+TEST(ConditionSource, BiasedFrequencyTracksP)
+{
+    for (double p : {0.05, 0.5, 0.97}) {
+        ConditionSource src(ConditionSpec::biased(p), Rng(123));
+        int hits = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            if (src.next())
+                ++hits;
+        EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02) << "p=" << p;
+    }
+}
+
+TEST(ConditionSource, PeriodicCyclesExactly)
+{
+    // Pattern 0b011 of length 3: true, true, false repeating.
+    ConditionSource src(ConditionSpec::periodic(0b011, 3), Rng(1));
+    for (int rep = 0; rep < 5; ++rep) {
+        EXPECT_TRUE(src.next());
+        EXPECT_TRUE(src.next());
+        EXPECT_FALSE(src.next());
+    }
+    EXPECT_EQ(src.samples(), 15u);
+}
+
+TEST(ConditionSource, MarkovIsSticky)
+{
+    ConditionSource src(ConditionSpec::markov(0.95, 0.05), Rng(7));
+    int flips = 0;
+    bool prev = src.next();
+    const int n = 20000;
+    for (int i = 1; i < n; ++i) {
+        bool cur = src.next();
+        if (cur != prev)
+            ++flips;
+        prev = cur;
+    }
+    // Flip probability is ~5% per step in either state.
+    EXPECT_NEAR(static_cast<double>(flips) / n, 0.05, 0.01);
+}
+
+TEST(ConditionSource, Markov2MarginalIsBalanced)
+{
+    // The order-2 chain is symmetric (P(true|differ) = 1 - P(true|equal)),
+    // so the marginal distribution stays near 50/50.
+    ConditionSource src(ConditionSpec::markov2(0.8), Rng(11));
+    int trues = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        if (src.next())
+            ++trues;
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.5, 0.02);
+}
+
+TEST(ConditionSource, Markov2IsOrderTwoPredictable)
+{
+    // Conditioning on the last TWO values predicts ~80%; conditioning on
+    // the last value alone is uninformative. This is the generator of
+    // the paper's non-repeating-pattern class.
+    ConditionSource src(ConditionSpec::markov2(0.8), Rng(13));
+    bool prev2 = src.next();
+    bool prev1 = src.next();
+    int order2_hits = 0, order1_same = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        bool cur = src.next();
+        // Order-2 rule: after differing values expect true, else false.
+        bool predicted = prev1 != prev2;
+        if (cur == predicted)
+            ++order2_hits;
+        if (cur == prev1)
+            ++order1_same;
+        prev2 = prev1;
+        prev1 = cur;
+    }
+    EXPECT_NEAR(static_cast<double>(order2_hits) / n, 0.8, 0.02);
+    EXPECT_NEAR(static_cast<double>(order1_same) / n, 0.5, 0.03);
+}
+
+TEST(ConditionSource, Markov2HasNoShortPeriod)
+{
+    // Unlike periodic sources, the noisy order-2 chain must not repeat
+    // with any short fixed period: "same as k ago" stays near chance
+    // for every k in the fixed-pattern predictor's range.
+    ConditionSource src(ConditionSpec::markov2(0.8), Rng(17));
+    std::vector<bool> seq;
+    for (int i = 0; i < 20000; ++i)
+        seq.push_back(src.next());
+    for (unsigned k : {3u, 5u, 8u, 13u, 21u, 32u}) {
+        int same = 0;
+        for (size_t i = k; i < seq.size(); ++i)
+            if (seq[i] == seq[i - k])
+                ++same;
+        double rate = static_cast<double>(same)
+            / static_cast<double>(seq.size() - k);
+        EXPECT_LT(rate, 0.70) << "k=" << k;
+    }
+}
+
+TEST(ConditionSource, CounterIsDeterministic)
+{
+    ConditionSource src(ConditionSpec::counter(4, 2), Rng(9));
+    // (count % 4) < 2: T T F F repeating.
+    for (int rep = 0; rep < 4; ++rep) {
+        EXPECT_TRUE(src.next());
+        EXPECT_TRUE(src.next());
+        EXPECT_FALSE(src.next());
+        EXPECT_FALSE(src.next());
+    }
+}
+
+TEST(ConditionSource, SameRngSameStream)
+{
+    ConditionSource a(ConditionSpec::biased(0.4), Rng(55));
+    ConditionSource b(ConditionSpec::biased(0.4), Rng(55));
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(ConditionSpec, DescribeMentionsKind)
+{
+    EXPECT_NE(ConditionSpec::biased(0.9).describe().find("biased"),
+              std::string::npos);
+    EXPECT_NE(ConditionSpec::periodic(1, 2).describe().find("periodic"),
+              std::string::npos);
+    EXPECT_NE(ConditionSpec::markov(0.9, 0.1).describe().find("markov"),
+              std::string::npos);
+    EXPECT_NE(ConditionSpec::counter(4, 1).describe().find("counter"),
+              std::string::npos);
+}
+
+TEST(Pred, VariableEvaluation)
+{
+    std::vector<uint8_t> vars = {1, 0};
+    EXPECT_TRUE(Pred::var(0).eval(vars));
+    EXPECT_FALSE(Pred::var(1).eval(vars));
+}
+
+TEST(Pred, NotAndOr)
+{
+    std::vector<uint8_t> vars = {1, 0};
+    Pred v0 = Pred::var(0);
+    Pred v1 = Pred::var(1);
+    EXPECT_FALSE(Pred::notOf(v0).eval(vars));
+    EXPECT_TRUE(Pred::notOf(v1).eval(vars));
+    EXPECT_FALSE(Pred::andOf(v0, v1).eval(vars));
+    EXPECT_TRUE(Pred::orOf(v0, v1).eval(vars));
+}
+
+TEST(Pred, CompoundExpressionTruthTable)
+{
+    // (v0 & !v1) | v2
+    Pred expr = Pred::orOf(
+        Pred::andOf(Pred::var(0), Pred::notOf(Pred::var(1))),
+        Pred::var(2));
+    for (int bits = 0; bits < 8; ++bits) {
+        std::vector<uint8_t> vars = {
+            static_cast<uint8_t>(bits & 1),
+            static_cast<uint8_t>((bits >> 1) & 1),
+            static_cast<uint8_t>((bits >> 2) & 1),
+        };
+        bool expected = (vars[0] && !vars[1]) || vars[2];
+        EXPECT_EQ(expr.eval(vars), expected) << "bits=" << bits;
+    }
+}
+
+TEST(Pred, VariablesAreSortedAndDeduplicated)
+{
+    Pred expr = Pred::andOf(Pred::orOf(Pred::var(5), Pred::var(2)),
+                            Pred::var(5));
+    auto vars = expr.variables();
+    ASSERT_EQ(vars.size(), 2u);
+    EXPECT_EQ(vars[0], 2u);
+    EXPECT_EQ(vars[1], 5u);
+}
+
+TEST(Pred, ToStringIsReadable)
+{
+    Pred expr = Pred::andOf(Pred::var(1), Pred::notOf(Pred::var(2)));
+    EXPECT_EQ(expr.toString(), "(v1 & !v2)");
+}
+
+TEST(Pred, SizeCountsNodes)
+{
+    EXPECT_EQ(Pred::var(0).size(), 1u);
+    EXPECT_EQ(Pred::andOf(Pred::var(0), Pred::var(1)).size(), 3u);
+}
+
+} // namespace
+} // namespace copra::workload
