@@ -38,6 +38,36 @@ BM_Predictor(benchmark::State &state, const std::string &spec)
         static_cast<int64_t>(trace.conditionalCount()));
 }
 
+/**
+ * Reference scalar loop: two virtual calls per branch, the driver's
+ * pre-batching behaviour. The delta against BM_Predictor (which goes
+ * through sim::run and therefore TwoLevel::predictUpdateBatch) is the
+ * devirtualization win.
+ */
+void
+BM_PredictorScalarVirtual(benchmark::State &state, const std::string &spec)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        auto pred = copra::predictor::makePredictor(spec);
+        uint64_t correct = 0;
+        for (const auto &rec : trace.records()) {
+            if (!rec.isConditional()) {
+                pred->observe(rec);
+                continue;
+            }
+            bool prediction = pred->predict(rec);
+            pred->update(rec, rec.taken);
+            if (prediction == rec.taken)
+                ++correct;
+        }
+        benchmark::DoNotOptimize(correct);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(trace.conditionalCount()));
+}
+
 void
 BM_SelectivePredictor(benchmark::State &state)
 {
@@ -63,6 +93,10 @@ BENCHMARK_CAPTURE(BM_Predictor, block, std::string("block"));
 BENCHMARK_CAPTURE(BM_Predictor, ifgshare, std::string("ifgshare"));
 BENCHMARK_CAPTURE(BM_Predictor, ifpas, std::string("ifpas"));
 BENCHMARK_CAPTURE(BM_Predictor, hybrid, std::string("hybrid"));
+BENCHMARK_CAPTURE(BM_PredictorScalarVirtual, gshare_scalar,
+                  std::string("gshare"));
+BENCHMARK_CAPTURE(BM_PredictorScalarVirtual, pas_scalar,
+                  std::string("pas"));
 BENCHMARK(BM_SelectivePredictor);
 
 BENCHMARK_MAIN();

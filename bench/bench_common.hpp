@@ -1,20 +1,42 @@
 /**
  * @file
- * Shared plumbing for the bench binaries: common CLI options and the
- * standard header each harness prints. Every bench regenerates one of
- * the paper's tables or figures over the synthetic benchmark suite and
+ * Shared plumbing for the bench binaries: common CLI options, the
+ * standard header each harness prints, the parallel suite fan-out, and
+ * wall-clock timing instrumentation. Every bench regenerates one of the
+ * paper's tables or figures over the synthetic benchmark suite and
  * prints the paper's published values alongside for comparison.
+ *
+ * Parallelism: runSuite() runs the 8 benchmarks of a fig/table bench
+ * concurrently on the global thread pool (size --threads /
+ * COPRA_THREADS), collecting rows in suite order so the printed table
+ * is byte-identical for every thread count. Traces are served from the
+ * on-disk cache (.copra-cache/ or $COPRA_CACHE_DIR) unless
+ * --no-trace-cache is given.
+ *
+ * Timing: each harness prints a "timing=" line (per-phase seconds and
+ * branch throughput) and appends a machine-readable entry to
+ * bench_results.json, so successive PRs have a perf trajectory to
+ * compare against.
  */
 
 #ifndef COPRA_BENCH_BENCH_COMMON_HPP
 #define COPRA_BENCH_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/experiments.hpp"
+#include "trace/trace_cache.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/profiles.hpp"
 
 namespace copra::bench {
 
@@ -23,10 +45,15 @@ struct BenchOptions
 {
     core::ExperimentConfig config;
     bool csv = false;
+    uint64_t threads = 0;     //!< worker threads (0 = auto)
+    bool noTraceCache = false;
+    std::string resultsPath = "bench_results.json";
 
     /**
      * Parse argv; returns false if the program should exit (e.g.
      * --help). @p extra lets a harness register additional options.
+     * On success, sizes the global thread pool and enables the trace
+     * cache (unless --no-trace-cache).
      */
     bool
     parse(int argc, char **argv, const std::string &description,
@@ -40,6 +67,13 @@ struct BenchOptions
         options.addUint("mine", &config.mineConditionals,
                         "branches used for candidate mining (0 = all)");
         options.addFlag("csv", &csv, "emit CSV instead of aligned text");
+        options.addUint("threads", &threads,
+                        "worker threads (0 = COPRA_THREADS or hardware)");
+        options.addFlag("no-trace-cache", &noTraceCache,
+                        "regenerate traces instead of using "
+                        ".copra-cache/ ($COPRA_CACHE_DIR)");
+        options.addString("results", &resultsPath,
+                          "bench_results.json path (empty = skip)");
         uint64_t depth = config.historyDepth;
         uint64_t pool = config.candidatePool;
         options.addUint("depth", &depth, "history window depth n");
@@ -50,6 +84,9 @@ struct BenchOptions
             return false;
         config.historyDepth = static_cast<unsigned>(depth);
         config.candidatePool = static_cast<unsigned>(pool);
+
+        setGlobalPoolThreads(static_cast<unsigned>(threads));
+        trace::setTraceCacheEnabled(!noTraceCache);
         return true;
     }
 };
@@ -63,6 +100,146 @@ banner(const char *artifact, const BenchOptions &opts)
                 "seed %llu (see DESIGN.md for the substitution rationale)\n\n",
                 static_cast<unsigned long long>(opts.config.branches),
                 static_cast<unsigned long long>(opts.config.seed));
+}
+
+/** Aggregate timing of one harness run, summed over the suite. */
+struct SuiteTiming
+{
+    double wallSeconds = 0.0;      //!< end-to-end fan-out wall clock
+    double traceSeconds = 0.0;     //!< trace gen/load, summed per task
+    double predictorSeconds = 0.0; //!< predictor runs, summed per task
+    double oracleSeconds = 0.0;    //!< oracle + classifier, summed
+    uint64_t dynamicBranches = 0;  //!< conditional branches simulated
+};
+
+/**
+ * Run @p producer over every benchmark of the suite concurrently and
+ * return the produced rows in suite order (deterministic regardless of
+ * thread count or scheduling: each task owns its BenchmarkExperiment
+ * and writes only its own slot).
+ *
+ * @param timing Optional sink for per-phase and wall-clock seconds.
+ */
+template <typename Producer>
+auto
+runSuite(const BenchOptions &opts, SuiteTiming *timing,
+         Producer &&producer)
+    -> std::vector<std::decay_t<
+        std::invoke_result_t<Producer &, core::BenchmarkExperiment &>>>
+{
+    using Row = std::decay_t<
+        std::invoke_result_t<Producer &, core::BenchmarkExperiment &>>;
+    const std::vector<std::string> &names = workload::benchmarkNames();
+    std::vector<Row> rows(names.size());
+
+    std::mutex timing_mutex;
+    auto start = std::chrono::steady_clock::now();
+    parallelFor(globalPool(), names.size(), [&](size_t i) {
+        core::BenchmarkExperiment experiment(names[i], opts.config);
+        rows[i] = producer(experiment);
+        if (timing) {
+            const core::PhaseTimes &phases = experiment.phaseTimes();
+            std::lock_guard<std::mutex> lock(timing_mutex);
+            timing->traceSeconds += phases.traceSeconds;
+            timing->predictorSeconds += phases.predictorSeconds;
+            timing->oracleSeconds += phases.oracleSeconds;
+            timing->dynamicBranches +=
+                experiment.trace().conditionalCount();
+        }
+    });
+    if (timing) {
+        timing->wallSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+    }
+    return rows;
+}
+
+/**
+ * Append one run's entry to the bench_results.json array (creating the
+ * file on first use; a file that is not a well-formed array is started
+ * over). Records enough to reconstruct a perf trajectory across PRs.
+ */
+inline void
+appendBenchResult(const std::string &path, const std::string &name,
+                  const BenchOptions &opts, const SuiteTiming &timing)
+{
+    double branches_per_sec = timing.wallSeconds > 0
+        ? static_cast<double>(timing.dynamicBranches) / timing.wallSeconds
+        : 0.0;
+    std::ostringstream entry;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"threads\": %u, "
+                  "\"branches\": %llu, \"seconds\": %.3f, "
+                  "\"branches_per_sec\": %.0f, "
+                  "\"trace_seconds\": %.3f, "
+                  "\"predictor_seconds\": %.3f, "
+                  "\"oracle_seconds\": %.3f, "
+                  "\"trace_cache\": %s}",
+                  name.c_str(), globalPool().size(),
+                  static_cast<unsigned long long>(timing.dynamicBranches),
+                  timing.wallSeconds, branches_per_sec,
+                  timing.traceSeconds, timing.predictorSeconds,
+                  timing.oracleSeconds,
+                  opts.noTraceCache ? "false" : "true");
+    entry << buf;
+
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream slurp;
+            slurp << in.rdbuf();
+            existing = slurp.str();
+        }
+    }
+    // Keep the file a valid JSON array: strip the closing bracket and
+    // append, or start fresh when absent/not an array.
+    size_t open = existing.find('[');
+    size_t close = existing.rfind(']');
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return;
+    if (open != std::string::npos && close != std::string::npos &&
+        open < close) {
+        std::string body = existing.substr(open + 1, close - open - 1);
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' ' ||
+                body.back() == ','))
+            body.pop_back();
+        out << "[" << body;
+        if (!body.empty())
+            out << ",";
+        out << "\n" << entry.str() << "\n]\n";
+    } else {
+        out << "[\n" << entry.str() << "\n]\n";
+    }
+}
+
+/**
+ * Print the timing= line for @p artifact and append the matching
+ * bench_results.json entry (unless --results ""). Call after the table.
+ * The line goes to stderr so stdout (the table) stays byte-identical
+ * across thread counts and machines.
+ */
+inline void
+reportTiming(const char *artifact, const BenchOptions &opts,
+             const SuiteTiming &timing)
+{
+    double branches_per_sec = timing.wallSeconds > 0
+        ? static_cast<double>(timing.dynamicBranches) / timing.wallSeconds
+        : 0.0;
+    std::fprintf(stderr,
+                 "timing= total=%.3fs trace=%.3fs predictors=%.3fs "
+                 "oracle=%.3fs threads=%u branches=%llu "
+                 "branches/sec=%.0f\n",
+                 timing.wallSeconds, timing.traceSeconds,
+                 timing.predictorSeconds, timing.oracleSeconds,
+                 globalPool().size(),
+                 static_cast<unsigned long long>(timing.dynamicBranches),
+                 branches_per_sec);
+    if (!opts.resultsPath.empty())
+        appendBenchResult(opts.resultsPath, artifact, opts, timing);
 }
 
 } // namespace copra::bench

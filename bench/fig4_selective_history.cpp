@@ -22,13 +22,18 @@ main(int argc, char **argv)
         return 0;
     copra::bench::banner("Figure 4: selective history vs gshare", opts);
 
+    copra::bench::SuiteTiming timing;
+    auto rows = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.fig4Row();
+        });
+
     copra::Table table({"benchmark", "IF sel-1", "IF sel-2", "IF sel-3",
                         "IF gshare", "gshare"});
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::Fig4Row row = experiment.fig4Row();
+    for (const copra::core::Fig4Row &row : rows) {
         table.row()
-            .cell(name)
+            .cell(row.name)
             .cell(row.selective1, 2)
             .cell(row.selective2, 2)
             .cell(row.selective3, 2)
@@ -42,5 +47,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper shape: sel-1 already respectable; sel-3 close "
                 "to IF gshare; gshare below IF gshare.\n");
+    copra::bench::reportTiming("fig4_selective_history", opts, timing);
     return 0;
 }

@@ -32,12 +32,19 @@ main(int argc, char **argv)
         headers.push_back("n=" + std::to_string(d));
     copra::Table table(headers);
 
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        auto trace =
-            copra::core::makeExperimentTrace(name, opts.config);
-        auto series = copra::core::fig5Series(trace, opts.config, depths);
-        table.row().cell(name);
-        for (const auto &[depth, accuracy] : series)
+    copra::bench::SuiteTiming timing;
+    auto all_series = copra::bench::runSuite(
+        opts, &timing,
+        [&depths,
+         &opts](copra::core::BenchmarkExperiment &experiment) {
+            return copra::core::fig5Series(experiment.trace(),
+                                           opts.config, depths);
+        });
+
+    const auto &names = copra::workload::benchmarkNames();
+    for (size_t i = 0; i < all_series.size(); ++i) {
+        table.row().cell(names[i]);
+        for (const auto &[depth, accuracy] : all_series[i])
             table.cell(accuracy, 2);
     }
     if (opts.csv)
@@ -47,5 +54,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper shape: slow growth up to n~20, little beyond "
                 "(correlated branches are nearby).\n");
+    copra::bench::reportTiming("fig5_history_length", opts, timing);
     return 0;
 }

@@ -26,13 +26,18 @@ main(int argc, char **argv)
     copra::Table table({"benchmark", "ideal static %", "loop %",
                         "repeating %", "non-repeating %",
                         "static bucket >99% biased %"});
+    copra::bench::SuiteTiming timing;
+    auto produced = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.fig6Row();
+        });
+
     double sums[5] = {0, 0, 0, 0, 0};
     int rows = 0;
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::Fig6Row row = experiment.fig6Row();
+    for (const copra::core::Fig6Row &row : produced) {
         table.row()
-            .cell(name)
+            .cell(row.name)
             .cell(100.0 * row.fractions[0], 1)
             .cell(100.0 * row.fractions[1], 1)
             .cell(100.0 * row.fractions[2], 1)
@@ -55,5 +60,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: about half ideal-static (88%% of that "
                 ">99%% biased), about a third non-repeating, about a "
                 "sixth loop, repeating infrequent.\n");
+    copra::bench::reportTiming("fig6_pa_classes", opts, timing);
     return 0;
 }

@@ -25,13 +25,20 @@ main(int argc, char **argv)
 
     copra::Table table({"benchmark", "gshare best %", "PAs best %",
                         "ideal static best %", "static >99% biased %"});
+    copra::bench::SuiteTiming timing;
+    auto splits = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.fig7Split();
+        });
+
+    const auto &names = copra::workload::benchmarkNames();
     double sums[4] = {0, 0, 0, 0};
     int rows = 0;
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::BestOfSplit split = experiment.fig7Split();
+    for (size_t i = 0; i < splits.size(); ++i) {
+        const copra::core::BestOfSplit &split = splits[i];
         table.row()
-            .cell(name)
+            .cell(names[i])
             .cell(100.0 * split.fracA, 1)
             .cell(100.0 * split.fracB, 1)
             .cell(100.0 * split.fracStatic, 1)
@@ -53,5 +60,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper averages: gshare best 29%%, PAs best 16%%, "
                 "ideal static 55%% (83%% of it >99%% biased).\n");
+    copra::bench::reportTiming("fig7_gshare_pas_static", opts, timing);
     return 0;
 }

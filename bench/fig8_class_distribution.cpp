@@ -27,13 +27,20 @@ main(int argc, char **argv)
     copra::Table table({"benchmark", "global best %",
                         "per-address best %", "ideal static best %",
                         "static >99% biased %"});
+    copra::bench::SuiteTiming timing;
+    auto splits = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.fig8Split();
+        });
+
+    const auto &names = copra::workload::benchmarkNames();
     double sums[4] = {0, 0, 0, 0};
     int rows = 0;
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::BestOfSplit split = experiment.fig8Split();
+    for (size_t i = 0; i < splits.size(); ++i) {
+        const copra::core::BestOfSplit &split = splits[i];
         table.row()
-            .cell(name)
+            .cell(names[i])
             .cell(100.0 * split.fracA, 1)
             .cell(100.0 * split.fracB, 1)
             .cell(100.0 * split.fracStatic, 1)
@@ -55,5 +62,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper averages: global 38%%, per-address 22%%, ideal "
                 "static 40%% (92%% of it >99%% biased).\n");
+    copra::bench::reportTiming("fig8_class_distribution", opts, timing);
     return 0;
 }

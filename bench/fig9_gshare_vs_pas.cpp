@@ -32,12 +32,18 @@ main(int argc, char **argv)
         headers.push_back("p" + std::to_string(static_cast<int>(p)));
     copra::Table table(headers);
 
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        auto wp = experiment.fig9Percentiles();
-        table.row().cell(name);
+    copra::bench::SuiteTiming timing;
+    auto curves = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.fig9Percentiles();
+        });
+
+    const auto &names = copra::workload::benchmarkNames();
+    for (size_t i = 0; i < curves.size(); ++i) {
+        table.row().cell(names[i]);
         for (double p : percentiles)
-            table.cell(wp.percentile(p), 1);
+            table.cell(curves[i].percentile(p), 1);
     }
     if (opts.csv)
         table.printCsv(std::cout);
@@ -46,5 +52,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper reference (gcc): p10 ~ -7.0 (PAs better), p90 "
                 "~ +10.4 (gshare better); perl much flatter.\n");
+    copra::bench::reportTiming("fig9_gshare_vs_pas", opts, timing);
     return 0;
 }

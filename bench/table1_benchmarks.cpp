@@ -23,29 +23,52 @@ main(int argc, char **argv)
         return 0;
     copra::bench::banner("Table 1: benchmark summary", opts);
 
+    struct Row
+    {
+        std::string name;
+        uint64_t dynamicBranches = 0;
+        uint64_t staticBranches = 0;
+        double takenPct = 0;
+        double biasedPct = 0;
+        double idealStaticPct = 0;
+    };
+    copra::bench::SuiteTiming timing;
+    auto rows = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            const copra::trace::TraceStats &stats = experiment.stats();
+            Row row;
+            row.name = experiment.name();
+            row.dynamicBranches = stats.dynamicBranches();
+            row.staticBranches =
+                static_cast<uint64_t>(stats.staticBranches());
+            row.takenPct =
+                100.0 * stats.dynamicTaken() / stats.dynamicBranches();
+            row.biasedPct =
+                100.0 * stats.dynamicFractionWithBiasAbove(0.99);
+            row.idealStaticPct = 100.0 * stats.idealStaticCorrect()
+                / stats.dynamicBranches();
+            return row;
+        });
+
     copra::Table table({"benchmark", "dyn branches", "static", "taken %",
                         ">99% biased %", "ideal static %",
                         "paper dyn branches"});
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        auto trace = copra::workload::makeBenchmarkTrace(
-            name, opts.config.branches, opts.config.seed);
-        copra::trace::TraceStats stats(trace);
-        const auto &ref = copra::workload::paperReference(name);
+    for (const Row &row : rows) {
+        const auto &ref = copra::workload::paperReference(row.name);
         table.row()
-            .cell(name)
-            .cell(stats.dynamicBranches())
-            .cell(static_cast<uint64_t>(stats.staticBranches()))
-            .cell(100.0 * stats.dynamicTaken() / stats.dynamicBranches(),
-                  1)
-            .cell(100.0 * stats.dynamicFractionWithBiasAbove(0.99), 1)
-            .cell(100.0 * stats.idealStaticCorrect()
-                      / stats.dynamicBranches(),
-                  2)
+            .cell(row.name)
+            .cell(row.dynamicBranches)
+            .cell(row.staticBranches)
+            .cell(row.takenPct, 1)
+            .cell(row.biasedPct, 1)
+            .cell(row.idealStaticPct, 2)
             .cell(ref.paperDynamicBranches);
     }
     if (opts.csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+    copra::bench::reportTiming("table1_benchmarks", opts, timing);
     return 0;
 }

@@ -23,15 +23,20 @@ main(int argc, char **argv)
     copra::bench::banner("Table 2: correlation gshare fails to exploit",
                          opts);
 
+    copra::bench::SuiteTiming timing;
+    auto rows = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.table2Row();
+        });
+
     copra::Table table({"benchmark", "gshare", "gshare w/Corr",
                         "IF gshare", "IF gshare w/Corr", "paper gshare",
                         "paper gsh w/Corr", "paper IF", "paper IF w/Corr"});
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::Table2Row row = experiment.table2Row();
-        const auto &ref = copra::workload::paperReference(name);
+    for (const copra::core::Table2Row &row : rows) {
+        const auto &ref = copra::workload::paperReference(row.name);
         table.row()
-            .cell(name)
+            .cell(row.name)
             .cell(row.gshare, 2)
             .cell(row.gshareWithCorr, 2)
             .cell(row.ifGshare, 2)
@@ -48,5 +53,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper shape: w/Corr > base for every benchmark, with "
                 "the largest gains on gcc and go.\n");
+    copra::bench::reportTiming("table2_gshare_corr", opts, timing);
     return 0;
 }

@@ -22,15 +22,20 @@ main(int argc, char **argv)
         return 0;
     copra::bench::banner("Table 3: loop predictability PAs misses", opts);
 
+    copra::bench::SuiteTiming timing;
+    auto rows = copra::bench::runSuite(
+        opts, &timing,
+        [](copra::core::BenchmarkExperiment &experiment) {
+            return experiment.table3Row();
+        });
+
     copra::Table table({"benchmark", "PAs", "PAs w/Loop", "IF PAs",
                         "IF PAs w/Loop", "paper PAs", "paper PAs w/Loop",
                         "paper IF PAs", "paper IF w/Loop"});
-    for (const auto &name : copra::workload::benchmarkNames()) {
-        copra::core::BenchmarkExperiment experiment(name, opts.config);
-        copra::core::Table3Row row = experiment.table3Row();
-        const auto &ref = copra::workload::paperReference(name);
+    for (const copra::core::Table3Row &row : rows) {
+        const auto &ref = copra::workload::paperReference(row.name);
         table.row()
-            .cell(name)
+            .cell(row.name)
             .cell(row.pas, 2)
             .cell(row.pasWithLoop, 2)
             .cell(row.ifPas, 2)
@@ -47,5 +52,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper shape: the loop enhancement helps every "
                 "benchmark, most on gcc/go/ijpeg/m88ksim.\n");
+    copra::bench::reportTiming("table3_pas_loop", opts, timing);
     return 0;
 }

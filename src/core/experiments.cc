@@ -1,23 +1,59 @@
 #include "core/experiments.hpp"
 
+#include <chrono>
+
 #include "predictor/interference_free.hpp"
 #include "predictor/two_level.hpp"
 #include "sim/driver.hpp"
+#include "trace/trace_cache.hpp"
 #include "workload/profiles.hpp"
 
 namespace copra::core {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Adds the elapsed lifetime of the guard to a PhaseTimes field. */
+class PhaseGuard
+{
+  public:
+    explicit PhaseGuard(double &sink)
+        : sink_(sink), start_(Clock::now())
+    {
+    }
+    ~PhaseGuard()
+    {
+        sink_ += std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    double &sink_;
+    Clock::time_point start_;
+};
+
+} // namespace
+
 trace::Trace
 makeExperimentTrace(const std::string &name, const ExperimentConfig &config)
 {
-    return workload::makeBenchmarkTrace(name, config.branches, config.seed);
+    auto generate = [&]() {
+        return workload::makeBenchmarkTrace(name, config.branches,
+                                            config.seed);
+    };
+    if (!trace::traceCacheEnabled())
+        return generate();
+    trace::TraceCacheKey key{name, config.branches, config.seed};
+    return trace::globalTraceCache().loadOrGenerate(key, generate);
 }
 
 BenchmarkExperiment::BenchmarkExperiment(const std::string &name,
                                          const ExperimentConfig &config)
-    : name_(name), config_(config),
-      trace_(makeExperimentTrace(name, config))
+    : name_(name), config_(config)
 {
+    PhaseGuard guard(times_.traceSeconds);
+    trace_ = makeExperimentTrace(name, config);
 }
 
 BenchmarkExperiment::BenchmarkExperiment(trace::Trace trace,
@@ -38,6 +74,7 @@ const sim::Ledger &
 BenchmarkExperiment::gshareLedger()
 {
     if (!gshare_) {
+        PhaseGuard guard(times_.predictorSeconds);
         predictor::TwoLevel pred(
             predictor::TwoLevelConfig::gshare(config_.gshareHistory));
         gshare_.emplace();
@@ -50,6 +87,7 @@ const sim::Ledger &
 BenchmarkExperiment::pasLedger()
 {
     if (!pas_) {
+        PhaseGuard guard(times_.predictorSeconds);
         predictor::TwoLevel pred(predictor::TwoLevelConfig::pas(
             config_.pasHistory, config_.pasBhtBits, config_.pasSelectBits));
         pas_.emplace();
@@ -62,11 +100,47 @@ const sim::Ledger &
 BenchmarkExperiment::ifGshareLedger()
 {
     if (!ifGshare_) {
+        PhaseGuard guard(times_.predictorSeconds);
         predictor::IfGshare pred(config_.gshareHistory);
         ifGshare_.emplace();
         sim::run(trace_, pred, &*ifGshare_);
     }
     return *ifGshare_;
+}
+
+void
+BenchmarkExperiment::precomputeLedgers()
+{
+    std::vector<predictor::PredictorPtr> owned;
+    std::vector<predictor::Predictor *> preds;
+    std::vector<std::optional<sim::Ledger> *> sinks;
+    if (!gshare_) {
+        owned.push_back(std::make_unique<predictor::TwoLevel>(
+            predictor::TwoLevelConfig::gshare(config_.gshareHistory)));
+        sinks.push_back(&gshare_);
+    }
+    if (!pas_) {
+        owned.push_back(std::make_unique<predictor::TwoLevel>(
+            predictor::TwoLevelConfig::pas(config_.pasHistory,
+                                           config_.pasBhtBits,
+                                           config_.pasSelectBits)));
+        sinks.push_back(&pas_);
+    }
+    if (!ifGshare_) {
+        owned.push_back(std::make_unique<predictor::IfGshare>(
+            config_.gshareHistory));
+        sinks.push_back(&ifGshare_);
+    }
+    if (owned.empty())
+        return;
+    for (auto &pred : owned)
+        preds.push_back(pred.get());
+
+    PhaseGuard guard(times_.predictorSeconds);
+    std::vector<sim::Ledger> ledgers;
+    sim::runAllParallel(trace_, preds, &ledgers);
+    for (size_t i = 0; i < sinks.size(); ++i)
+        sinks[i]->emplace(std::move(ledgers[i]));
 }
 
 const sim::Ledger &
@@ -81,6 +155,7 @@ const SelectiveOracle &
 BenchmarkExperiment::oracle()
 {
     if (!oracle_) {
+        PhaseGuard guard(times_.oracleSeconds);
         OracleConfig oc;
         oc.historyDepth = config_.historyDepth;
         oc.candidatePool = config_.candidatePool;
@@ -95,6 +170,7 @@ const PaClassifier &
 BenchmarkExperiment::classifier()
 {
     if (!classifier_) {
+        PhaseGuard guard(times_.oracleSeconds);
         classifier_ =
             std::make_unique<PaClassifier>(trace_, config_.ifPasHistory);
     }

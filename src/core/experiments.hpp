@@ -54,6 +54,19 @@ struct ExperimentConfig
     unsigned ifPasHistory = 12;
 };
 
+/**
+ * Wall-clock seconds spent in each phase of one benchmark's experiments,
+ * recorded by BenchmarkExperiment as work happens. The bench harnesses
+ * sum these across benchmarks for the timing= line and
+ * bench_results.json.
+ */
+struct PhaseTimes
+{
+    double traceSeconds = 0.0;     //!< workload generation or cache load
+    double predictorSeconds = 0.0; //!< sim::run passes over the trace
+    double oracleSeconds = 0.0;    //!< selective oracle + classifier
+};
+
 /** Fig. 4 row: selective history vs gshare and IF gshare. */
 struct Fig4Row
 {
@@ -117,6 +130,17 @@ class BenchmarkExperiment
     /** Population statistics of the trace. */
     const trace::TraceStats &stats();
 
+    /** Seconds spent so far, by phase. */
+    const PhaseTimes &phaseTimes() const { return times_; }
+
+    /**
+     * Compute the gshare, PAs and IF-gshare ledgers that are not yet
+     * cached, sharding the simulation passes across the global thread
+     * pool (sim::runAllParallel). Purely an optimization: the lazy
+     * getters return identical ledgers whether or not this ran first.
+     */
+    void precomputeLedgers();
+
     /** gshare run (per-branch ledger). */
     const sim::Ledger &gshareLedger();
 
@@ -162,6 +186,7 @@ class BenchmarkExperiment
     std::optional<sim::Ledger> idealStatic_;
     std::unique_ptr<SelectiveOracle> oracle_;
     std::unique_ptr<PaClassifier> classifier_;
+    PhaseTimes times_;
 };
 
 /**
@@ -173,7 +198,12 @@ std::vector<std::pair<unsigned, double>> fig5Series(
     const trace::Trace &trace, const ExperimentConfig &config,
     const std::vector<unsigned> &depths);
 
-/** Build the trace for a named benchmark under @p config. */
+/**
+ * Build the trace for a named benchmark under @p config. When the global
+ * trace cache is enabled (trace::setTraceCacheEnabled), the trace is
+ * served from / stored to the on-disk cache keyed by
+ * (name, branches, seed, format version) instead of being regenerated.
+ */
 trace::Trace makeExperimentTrace(const std::string &name,
                                  const ExperimentConfig &config);
 

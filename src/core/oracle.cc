@@ -1,8 +1,11 @@
 #include "core/oracle.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace copra::core {
 
@@ -211,13 +214,24 @@ SelectiveOracle::selectExhaustive(const BranchData &data,
 void
 SelectiveOracle::select()
 {
-    for (auto &[pc, sel] : branches_) {
-        const BranchData &data = data_.at(pc);
+    // Greedy selection replays every candidate subset per static branch
+    // — the hottest analysis kernel. Branches are independent (each
+    // task reads immutable recorded rows and writes only its own
+    // BranchSelection), so partition them across the pool. Aggregates
+    // like accuracyPercent() iterate the map afterwards, so results do
+    // not depend on completion order.
+    std::vector<std::pair<const BranchData *, BranchSelection *>> work;
+    work.reserve(branches_.size());
+    for (auto &[pc, sel] : branches_)
+        work.emplace_back(&data_.at(pc), &sel);
+
+    parallelFor(globalPool(), work.size(), [&](size_t i) {
+        auto [data, sel] = work[i];
         if (config_.exhaustive)
-            selectExhaustive(data, sel);
+            selectExhaustive(*data, *sel);
         else
-            selectGreedy(data, sel);
-    }
+            selectGreedy(*data, *sel);
+    });
 }
 
 const BranchSelection *

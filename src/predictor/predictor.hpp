@@ -11,7 +11,9 @@
 #ifndef COPRA_PREDICTOR_PREDICTOR_HPP
 #define COPRA_PREDICTOR_PREDICTOR_HPP
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "trace/branch_record.hpp"
@@ -56,6 +58,37 @@ class Predictor
      * need them for bookkeeping.
      */
     virtual void observe(const trace::BranchRecord &) {}
+
+    /**
+     * Predict-and-train a run of consecutive conditional branches in
+     * one call, equivalent to predict(); update(rec, rec.taken) per
+     * record in order. The simulation driver feeds batches through this
+     * entry point so hot predictors can override it with a devirtualized
+     * inner loop; the default keeps the two-virtual-calls-per-branch
+     * behaviour, so overriding is purely an optimization and never
+     * changes results.
+     *
+     * @param batch Consecutive conditional records, in trace order.
+     * @param correct_out When non-null, receives one 0/1 entry per
+     *                    record: was the prediction correct?
+     * @return Number of correct predictions in the batch.
+     */
+    virtual uint64_t
+    predictUpdateBatch(std::span<const trace::BranchRecord> batch,
+                       uint8_t *correct_out)
+    {
+        uint64_t n_correct = 0;
+        size_t i = 0;
+        for (const trace::BranchRecord &br : batch) {
+            bool correct = predict(br) == br.taken;
+            update(br, br.taken);
+            n_correct += correct ? 1 : 0;
+            if (correct_out)
+                correct_out[i] = correct ? 1 : 0;
+            ++i;
+        }
+        return n_correct;
+    }
 
     /** Forget all adaptive state. */
     virtual void reset() = 0;

@@ -151,6 +151,35 @@ TwoLevel::update(const trace::BranchRecord &br, bool taken)
     hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
 }
 
+uint64_t
+TwoLevel::predictUpdateBatch(std::span<const trace::BranchRecord> batch,
+                             uint8_t *correct_out)
+{
+    uint64_t n_correct = 0;
+    size_t i = 0;
+    for (const trace::BranchRecord &br : batch) {
+        uint8_t &counter = pht_[phtIndex(br.pc)];
+        bool prediction = counter > counterInit_;
+        bool taken = br.taken;
+        if (taken) {
+            if (counter < counterMax_)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        uint64_t &hist = historyFor(br.pc);
+        hist = ((hist << 1) | (taken ? 1 : 0)) & historyMask_;
+
+        bool correct = prediction == taken;
+        n_correct += correct ? 1 : 0;
+        if (correct_out)
+            correct_out[i] = correct ? 1 : 0;
+        ++i;
+    }
+    return n_correct;
+}
+
 void
 TwoLevel::reset()
 {

@@ -94,6 +94,12 @@ class TwoLevel : public Predictor
 
     bool predict(const trace::BranchRecord &br) override;
     void update(const trace::BranchRecord &br, bool taken) override;
+
+    /** Devirtualized batch loop (same results as predict + update). */
+    uint64_t
+    predictUpdateBatch(std::span<const trace::BranchRecord> batch,
+                       uint8_t *correct_out) override;
+
     void reset() override;
     std::string name() const override;
 

@@ -1,6 +1,10 @@
 #include "sim/driver.hpp"
 
+#include <span>
+#include <vector>
+
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace copra::sim {
 
@@ -9,19 +13,39 @@ run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
 {
     RunResult result;
     result.predictorName = pred.name();
-    for (const auto &rec : trace.records()) {
-        if (!rec.isConditional()) {
-            pred.observe(rec);
+
+    // Feed maximal runs of consecutive conditional branches through the
+    // batch entry point: for predictors that override it (TwoLevel) the
+    // inner loop pays no virtual dispatch per branch, and for everything
+    // else the default batch method reproduces the classic
+    // predict/update call sequence exactly.
+    const std::vector<trace::BranchRecord> &records = trace.records();
+    std::vector<uint8_t> correct;
+    size_t i = 0;
+    while (i < records.size()) {
+        if (!records[i].isConditional()) {
+            pred.observe(records[i]);
+            ++i;
             continue;
         }
-        bool prediction = pred.predict(rec);
-        pred.update(rec, rec.taken);
-        bool correct = prediction == rec.taken;
-        ++result.dynamicBranches;
-        if (correct)
-            ++result.correct;
-        if (ledger)
-            ledger->record(rec.pc, rec.taken, correct);
+        size_t end = i + 1;
+        while (end < records.size() && records[end].isConditional())
+            ++end;
+        size_t count = end - i;
+        std::span<const trace::BranchRecord> batch(&records[i], count);
+        if (ledger) {
+            if (correct.size() < count)
+                correct.resize(count);
+            result.correct += pred.predictUpdateBatch(batch,
+                                                      correct.data());
+            for (size_t k = 0; k < count; ++k)
+                ledger->record(batch[k].pc, batch[k].taken,
+                               correct[k] != 0);
+        } else {
+            result.correct += pred.predictUpdateBatch(batch, nullptr);
+        }
+        result.dynamicBranches += count;
+        i = end;
     }
     return result;
 }
@@ -57,6 +81,31 @@ runAll(const trace::Trace &trace,
                 (*ledgers)[i].record(rec.pc, rec.taken, correct);
         }
     }
+    return results;
+}
+
+std::vector<RunResult>
+runAllParallel(const trace::Trace &trace,
+               const std::vector<predictor::Predictor *> &preds,
+               std::vector<Ledger> *ledgers, ThreadPool *pool)
+{
+    for (auto *p : preds)
+        panicIf(p == nullptr, "runAllParallel: null predictor");
+    if (ledgers) {
+        ledgers->clear();
+        ledgers->resize(preds.size());
+    }
+
+    // Each predictor owns its adaptive state and writes only its own
+    // result slot and ledger; the trace is shared read-only. Sharding by
+    // predictor index is therefore race-free, and because run() itself
+    // is deterministic the outcome is bit-identical to the serial path
+    // for every thread count.
+    std::vector<RunResult> results(preds.size());
+    parallelFor(pool ? *pool : globalPool(), preds.size(), [&](size_t i) {
+        results[i] = run(trace, *preds[i],
+                         ledgers ? &(*ledgers)[i] : nullptr);
+    });
     return results;
 }
 

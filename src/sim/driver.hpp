@@ -15,6 +15,7 @@
 #include "predictor/predictor.hpp"
 #include "sim/ledger.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace copra::sim {
 
@@ -59,6 +60,24 @@ std::vector<RunResult> runAll(
     const trace::Trace &trace,
     const std::vector<predictor::Predictor *> &preds,
     std::vector<Ledger> *ledgers = nullptr);
+
+/**
+ * Run several predictors over the same trace concurrently, sharding
+ * predictors across a thread pool. Unlike runAll this performs one full
+ * trace pass per predictor, but each pass is independent, so results
+ * and ledgers are bit-identical to runAll (and to serial run calls) for
+ * every thread count — predictors own all their adaptive state and
+ * there is no shared RNG.
+ *
+ * @param preds Predictors to drive (all receive every branch).
+ * @param ledgers Optional ledger sink; resized to preds.size().
+ * @param pool Pool to shard across (nullptr = the global pool).
+ */
+std::vector<RunResult> runAllParallel(
+    const trace::Trace &trace,
+    const std::vector<predictor::Predictor *> &preds,
+    std::vector<Ledger> *ledgers = nullptr,
+    ThreadPool *pool = nullptr);
 
 } // namespace copra::sim
 

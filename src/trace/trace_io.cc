@@ -11,7 +11,7 @@ namespace copra::trace {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'O', 'P', 'R', 'A', 'T', 'R', 'C'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = kTraceFormatVersion;
 
 void
 putU32(std::ostream &os, uint32_t v)

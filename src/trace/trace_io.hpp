@@ -15,6 +15,14 @@
 namespace copra::trace {
 
 /**
+ * Version of the binary trace format written by writeBinary. Bump on any
+ * layout change; readers reject other versions and the on-disk trace
+ * cache keys its entries on this value, so stale cache files are never
+ * misread.
+ */
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+/**
  * Write @p trace to @p os in the copra binary trace format.
  *
  * Layout: 8-byte magic "COPRATRC", u32 version, u64 seed, u32 name length,

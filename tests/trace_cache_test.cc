@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the on-disk trace cache: hit, miss, corrupt-file and
+ * version-mismatch paths, atomic stores, and the global toggle used by
+ * makeExperimentTrace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "core/experiments.hpp"
+#include "trace/trace_cache.hpp"
+#include "trace/trace_io.hpp"
+
+namespace copra::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+            ("copra-cache-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    Trace
+    sampleTrace(const std::string &name, uint64_t seed)
+    {
+        Trace t(name, seed);
+        t.append({0x100, 0x180, BranchKind::Conditional, true});
+        t.append({0x104, 0x200, BranchKind::Call, true});
+        t.append({0x204, 0x108, BranchKind::Return, true});
+        t.append({0x108, 0x090, BranchKind::Conditional, false});
+        return t;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(TraceCacheTest, KeyFileNameEncodesAllComponents)
+{
+    TraceCacheKey key{"gcc", 2000000, 7};
+    std::string file = key.fileName();
+    EXPECT_EQ(file, "gcc-b2000000-s7-v" +
+                  std::to_string(kTraceFormatVersion) + ".trc");
+
+    // Hostile names cannot escape the cache directory.
+    TraceCacheKey weird{"../evil/name", 1, 2};
+    EXPECT_EQ(weird.fileName().find('/'), std::string::npos);
+}
+
+TEST_F(TraceCacheTest, MissThenStoreThenHit)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+
+    EXPECT_FALSE(cache.load(key).has_value());
+
+    Trace original = sampleTrace("sample", 1);
+    ASSERT_TRUE(cache.store(key, original));
+    EXPECT_TRUE(fs::exists(cache.pathFor(key)));
+
+    auto loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->name(), original.name());
+    EXPECT_EQ(loaded->seed(), original.seed());
+    ASSERT_EQ(loaded->size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ((*loaded)[i], original[i]) << "record " << i;
+}
+
+TEST_F(TraceCacheTest, LoadOrGenerateCallsGeneratorOnlyOnMiss)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+    int generations = 0;
+    auto generate = [&]() {
+        ++generations;
+        return sampleTrace("sample", 1);
+    };
+
+    Trace first = cache.loadOrGenerate(key, generate);
+    EXPECT_EQ(generations, 1);
+    Trace second = cache.loadOrGenerate(key, generate);
+    EXPECT_EQ(generations, 1) << "second call must be a cache hit";
+    EXPECT_EQ(second.size(), first.size());
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsDroppedAndRegenerated)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+    ASSERT_TRUE(cache.store(key, sampleTrace("sample", 1)));
+
+    // Truncate the entry mid-record.
+    {
+        std::ofstream out(cache.pathFor(key),
+                          std::ios::binary | std::ios::trunc);
+        out << "COPRATRC garbage";
+    }
+
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_FALSE(fs::exists(cache.pathFor(key)))
+        << "corrupt entry must be deleted";
+
+    int generations = 0;
+    Trace regenerated = cache.loadOrGenerate(key, [&]() {
+        ++generations;
+        return sampleTrace("sample", 1);
+    });
+    EXPECT_EQ(generations, 1);
+    EXPECT_EQ(regenerated.size(), 4u);
+    EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(TraceCacheTest, VersionMismatchIsTreatedAsMiss)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+    ASSERT_TRUE(cache.store(key, sampleTrace("sample", 1)));
+
+    // Patch the format version field (bytes 8..11, little-endian) to a
+    // future version, as if a newer copra had written this entry under
+    // the same name.
+    std::string path = cache.pathFor(key);
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f.good());
+        f.seekp(8);
+        uint32_t bogus = 999;
+        char bytes[4];
+        for (int i = 0; i < 4; ++i)
+            bytes[i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+        f.write(bytes, 4);
+    }
+
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_FALSE(fs::exists(path)) << "mismatched entry must be deleted";
+}
+
+TEST_F(TraceCacheTest, MislabeledEntryIsDropped)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+    // A trace whose embedded name disagrees with the key (e.g. a file
+    // copied between cache directories by hand).
+    ASSERT_TRUE(cache.store(key, sampleTrace("other", 1)));
+    EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST_F(TraceCacheTest, VersionBumpChangesEntryName)
+{
+    TraceCacheKey key{"sample", 4, 1};
+    std::string file = key.fileName();
+    EXPECT_NE(file.find("-v" + std::to_string(kTraceFormatVersion) +
+                        ".trc"),
+              std::string::npos)
+        << "cache entries must be keyed on the trace format version";
+}
+
+TEST_F(TraceCacheTest, MakeExperimentTraceUsesCacheOnlyWhenEnabled)
+{
+    // Point the global cache at a private directory for this test.
+    ASSERT_FALSE(traceCacheEnabled())
+        << "trace cache must default to off for library users";
+
+    core::ExperimentConfig config;
+    config.branches = 2000;
+
+    // Disabled: no cache directory appears.
+    trace::Trace direct = core::makeExperimentTrace("compress", config);
+    EXPECT_GT(direct.size(), 0u);
+
+    // Enabled: entry is written and the second build hits it, yielding
+    // the identical trace.
+    setTraceCacheEnabled(true);
+    trace::Trace first = core::makeExperimentTrace("compress", config);
+    trace::Trace second = core::makeExperimentTrace("compress", config);
+    setTraceCacheEnabled(false);
+
+    TraceCacheKey key{"compress", config.branches, config.seed};
+    EXPECT_TRUE(fs::exists(globalTraceCache().pathFor(key)));
+    ASSERT_EQ(first.size(), second.size());
+    ASSERT_EQ(first.size(), direct.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i], second[i]);
+        EXPECT_EQ(first[i], direct[i]);
+    }
+    fs::remove(globalTraceCache().pathFor(key));
+}
+
+} // namespace
+} // namespace copra::trace
