@@ -1,0 +1,171 @@
+/**
+ * @file
+ * copra_check — the differential verification CLI.
+ *
+ * Default mode replays a range of fuzzed adversarial traces through
+ * every predictor pair (optimized vs reference) and exits non-zero on
+ * any per-branch prediction mismatch, printing a minimized reproducer.
+ *
+ * --inject <bug|all> flips into self-test mode: a deliberately broken
+ * predictor is swapped in, and the exit code is zero only if the suite
+ * *does* catch the bug and shrinks it to a small reproducer — proving
+ * the harness can actually detect the class of defect it exists for.
+ *
+ * Examples:
+ *   copra_check                         # 100 traces, all pairs
+ *   copra_check --traces 500 --branches 5000
+ *   copra_check --pairs pas             # only pairs whose name has "pas"
+ *   copra_check --inject all            # harness self-test
+ *   copra_check --repro-dir /tmp/repro  # dump reproducer .trace files
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "check/differential.hpp"
+#include "check/fuzz.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace copra;
+
+/** Write one failure's reproducer as a text trace under @p dir. */
+void
+dumpReproducer(const std::string &dir, const check::SuiteFailure &failure)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create " + dir + ": " + ec.message());
+        return;
+    }
+    std::string safe = failure.pair;
+    for (char &c : safe) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    std::string path = dir + "/" + safe + "-seed" +
+        std::to_string(failure.seed) + ".trace";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write " + path);
+        return;
+    }
+    trace::writeText(failure.reproducer, os);
+    std::printf("  reproducer written to %s\n", path.c_str());
+}
+
+int
+runInjected(const std::string &which, const check::SuiteOptions &options,
+            const std::string &repro_dir)
+{
+    int failed = 0;
+    unsigned matched = 0;
+    for (unsigned i = 0; i < check::kInjectedBugCount; ++i) {
+        auto bug = static_cast<check::InjectedBug>(i);
+        if (which != "all" && which != check::injectedBugName(bug))
+            continue;
+        ++matched;
+        check::CheckPair pair = check::injectedBugPair(bug);
+        check::SuiteReport report =
+            check::runCheckSuite(options, {pair});
+        if (report.ok()) {
+            std::printf("MISSED  %s: %llu traces found nothing — the "
+                        "harness failed its self-test\n",
+                        check::injectedBugName(bug),
+                        static_cast<unsigned long long>(report.tracesRun));
+            ++failed;
+            continue;
+        }
+        const check::SuiteFailure &first = report.failures.front();
+        std::printf("caught  %-28s path=%-8s reproducer=%llu records\n",
+                    check::injectedBugName(bug), first.first.path.c_str(),
+                    static_cast<unsigned long long>(
+                        first.reproducer.size()));
+        if (!repro_dir.empty())
+            dumpReproducer(repro_dir, first);
+    }
+    fatalIf(matched == 0,
+            "unknown injected bug '" + which +
+                "' (see --list-pairs for the injected:* names)");
+    return failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    check::SuiteOptions options;
+    std::string pairs_filter;
+    std::string inject;
+    std::string repro_dir;
+    bool list_pairs = false;
+    bool no_minimize = false;
+    bool no_parallel = false;
+    uint64_t traces = options.traces;
+    uint64_t branches = options.conditionals;
+    uint64_t seed_base = options.seedBase;
+
+    OptionParser parser(
+        "Differential verification: fuzzed traces through optimized "
+        "predictors vs reference models");
+    parser.addUint("traces", &traces, "fuzzed traces to replay");
+    parser.addUint("branches", &branches,
+                   "conditional branches per fuzzed trace");
+    parser.addUint("seed-base", &seed_base, "first fuzz seed");
+    parser.addString("pairs", &pairs_filter,
+                     "only run pairs whose name contains this substring");
+    parser.addString("inject", &inject,
+                     "self-test: plant a bug (name or 'all') and require "
+                     "the suite to catch it");
+    parser.addString("repro-dir", &repro_dir,
+                     "directory for minimized reproducer .trace files");
+    parser.addFlag("list-pairs", &list_pairs, "list pair names and exit");
+    parser.addFlag("no-minimize", &no_minimize,
+                   "report raw failing traces without shrinking");
+    parser.addFlag("no-parallel", &no_parallel,
+                   "skip the sim::runAllParallel comparison path");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    options.traces = traces;
+    options.conditionals = branches;
+    options.seedBase = seed_base;
+    options.minimize = !no_minimize;
+    options.checkParallel = !no_parallel;
+
+    if (list_pairs) {
+        for (const check::CheckPair &pair : check::defaultCheckPairs())
+            std::printf("%s\n", pair.name.c_str());
+        for (unsigned i = 0; i < check::kInjectedBugCount; ++i) {
+            std::printf("injected:%s\n", check::injectedBugName(
+                static_cast<check::InjectedBug>(i)));
+        }
+        return 0;
+    }
+
+    if (!inject.empty())
+        return runInjected(inject, options, repro_dir);
+
+    std::vector<check::CheckPair> pairs;
+    for (check::CheckPair &pair : check::defaultCheckPairs()) {
+        if (pairs_filter.empty() ||
+            pair.name.find(pairs_filter) != std::string::npos)
+            pairs.push_back(std::move(pair));
+    }
+    fatalIf(pairs.empty(),
+            "no check pairs match filter '" + pairs_filter + "'");
+
+    check::SuiteReport report = check::runCheckSuite(options, pairs);
+    std::fputs(check::formatReport(report).c_str(), stdout);
+    if (!repro_dir.empty()) {
+        for (const check::SuiteFailure &failure : report.failures)
+            dumpReproducer(repro_dir, failure);
+    }
+    return report.ok() ? 0 : 1;
+}

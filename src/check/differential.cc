@@ -1,0 +1,605 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <span>
+#include <sstream>
+#include <unordered_map>
+
+#include "check/fuzz.hpp"
+#include "check/ref_models.hpp"
+#include "predictor/bimodal.hpp"
+#include "predictor/block_pattern.hpp"
+#include "predictor/fixed_pattern.hpp"
+#include "predictor/hybrid.hpp"
+#include "predictor/loop_predictor.hpp"
+#include "predictor/two_level.hpp"
+#include "sim/driver.hpp"
+#include "util/logging.hpp"
+
+namespace copra::check {
+
+using predictor::PredictorPtr;
+using predictor::TwoLevelConfig;
+using trace::BranchRecord;
+using trace::Trace;
+
+// ---------------------------------------------------------------------------
+// Prediction streams
+
+std::vector<uint8_t>
+scalarPredictions(const Trace &trace, predictor::Predictor &pred)
+{
+    std::vector<uint8_t> out;
+    out.reserve(trace.conditionalCount());
+    for (const BranchRecord &rec : trace.records()) {
+        if (!rec.isConditional()) {
+            pred.observe(rec);
+            continue;
+        }
+        bool p = pred.predict(rec);
+        pred.update(rec, rec.taken);
+        out.push_back(p ? 1 : 0);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+batchedPredictions(const Trace &trace, predictor::Predictor &pred)
+{
+    // Mirror sim::run's batching exactly: maximal runs of consecutive
+    // conditional records go through predictUpdateBatch; the per-branch
+    // prediction is recovered from the correctness bit and the outcome.
+    const std::vector<BranchRecord> &records = trace.records();
+    std::vector<uint8_t> out;
+    out.reserve(trace.conditionalCount());
+    std::vector<uint8_t> correct;
+    size_t i = 0;
+    while (i < records.size()) {
+        if (!records[i].isConditional()) {
+            pred.observe(records[i]);
+            ++i;
+            continue;
+        }
+        size_t end = i + 1;
+        while (end < records.size() && records[end].isConditional())
+            ++end;
+        size_t count = end - i;
+        if (correct.size() < count)
+            correct.resize(count);
+        std::span<const BranchRecord> batch(&records[i], count);
+        pred.predictUpdateBatch(batch, correct.data());
+        for (size_t k = 0; k < count; ++k) {
+            bool prediction = correct[k] ? batch[k].taken : !batch[k].taken;
+            out.push_back(prediction ? 1 : 0);
+        }
+        i = end;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+
+namespace {
+
+/** pc of the @p index-th conditional record. */
+uint64_t
+conditionalPc(const Trace &trace, size_t index)
+{
+    size_t seen = 0;
+    for (const BranchRecord &rec : trace.records()) {
+        if (!rec.isConditional())
+            continue;
+        if (seen == index)
+            return rec.pc;
+        ++seen;
+    }
+    return 0;
+}
+
+/** Diff two prediction streams; append at most one mismatch. */
+void
+diffStreams(const Trace &trace, const std::string &pair,
+            const std::string &path, const std::vector<uint8_t> &expected,
+            const std::vector<uint8_t> &got, std::vector<Mismatch> &out)
+{
+    size_t n = std::min(expected.size(), got.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (expected[i] != got[i]) {
+            Mismatch m;
+            m.pair = pair;
+            m.path = path;
+            m.index = i;
+            m.pc = conditionalPc(trace, i);
+            m.expected = expected[i] != 0;
+            m.got = got[i] != 0;
+            out.push_back(m);
+            return;
+        }
+    }
+    if (expected.size() != got.size()) {
+        Mismatch m;
+        m.pair = pair;
+        m.path = path;
+        m.index = Mismatch::kAggregate;
+        m.detail = "stream length " + std::to_string(got.size()) +
+            " != " + std::to_string(expected.size());
+        out.push_back(m);
+    }
+}
+
+uint64_t
+correctCount(const Trace &trace, const std::vector<uint8_t> &predictions)
+{
+    uint64_t n = 0;
+    size_t i = 0;
+    for (const BranchRecord &rec : trace.records()) {
+        if (!rec.isConditional())
+            continue;
+        if (i < predictions.size() && (predictions[i] != 0) == rec.taken)
+            ++n;
+        ++i;
+    }
+    return n;
+}
+
+void
+aggregateMismatch(const std::string &pair, const std::string &path,
+                  uint64_t expected, uint64_t got,
+                  std::vector<Mismatch> &out)
+{
+    if (expected == got)
+        return;
+    Mismatch m;
+    m.pair = pair;
+    m.path = path;
+    m.index = Mismatch::kAggregate;
+    m.detail = "correct count " + std::to_string(got) + " != " +
+        std::to_string(expected);
+    out.push_back(m);
+}
+
+} // namespace
+
+DiffResult
+diffPair(const Trace &trace, const CheckPair &pair, bool check_parallel)
+{
+    DiffResult result;
+
+    PredictorPtr ref = pair.reference();
+    std::vector<uint8_t> want = scalarPredictions(trace, *ref);
+    uint64_t want_correct = correctCount(trace, want);
+
+    PredictorPtr scalar = pair.optimized();
+    diffStreams(trace, pair.name, "scalar", want,
+                scalarPredictions(trace, *scalar), result.mismatches);
+
+    PredictorPtr batched = pair.optimized();
+    diffStreams(trace, pair.name, "batched", want,
+                batchedPredictions(trace, *batched), result.mismatches);
+
+    // The driver itself: aggregate counts must agree with the reference
+    // stream even though sim::run only reports totals.
+    PredictorPtr driven = pair.optimized();
+    sim::RunResult run = sim::run(trace, *driven);
+    aggregateMismatch(pair.name, "run", want_correct, run.correct,
+                      result.mismatches);
+    aggregateMismatch(pair.name, "run", trace.conditionalCount(),
+                      run.dynamicBranches, result.mismatches);
+
+    if (check_parallel) {
+        // Several fresh instances sharded across the pool must all land
+        // on the reference count (and on each other).
+        PredictorPtr p1 = pair.optimized();
+        PredictorPtr p2 = pair.optimized();
+        PredictorPtr pr = pair.reference();
+        std::vector<predictor::Predictor *> preds{p1.get(), p2.get(),
+                                                  pr.get()};
+        std::vector<sim::RunResult> results =
+            sim::runAllParallel(trace, preds);
+        for (const sim::RunResult &r : results) {
+            aggregateMismatch(pair.name, "parallel", want_correct,
+                              r.correct, result.mismatches);
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer
+
+namespace {
+
+Trace
+rebuild(const Trace &like, const std::vector<BranchRecord> &records)
+{
+    Trace out(like.name(), like.seed());
+    out.reserve(records.size());
+    for (const BranchRecord &rec : records)
+        out.append(rec);
+    return out;
+}
+
+} // namespace
+
+Trace
+minimizeTrace(const Trace &trace,
+              const std::function<bool(const Trace &)> &still_fails,
+              unsigned max_rounds)
+{
+    std::vector<BranchRecord> records = trace.records();
+    size_t chunk = std::max<size_t>(1, records.size() / 2);
+    unsigned rounds = 0;
+    while (rounds < max_rounds) {
+        ++rounds;
+        bool removed = false;
+        size_t pos = 0;
+        while (pos < records.size()) {
+            size_t len = std::min(chunk, records.size() - pos);
+            std::vector<BranchRecord> candidate;
+            candidate.reserve(records.size() - len);
+            candidate.insert(candidate.end(), records.begin(),
+                             records.begin() +
+                                 static_cast<ptrdiff_t>(pos));
+            candidate.insert(candidate.end(),
+                             records.begin() +
+                                 static_cast<ptrdiff_t>(pos + len),
+                             records.end());
+            if (still_fails(rebuild(trace, candidate))) {
+                records = std::move(candidate);
+                removed = true;
+                // Keep pos: the next chunk has slid into this position.
+            } else {
+                pos += len;
+            }
+        }
+        if (!removed) {
+            if (chunk == 1)
+                break; // single-record granularity and nothing removable
+            chunk = std::max<size_t>(1, chunk / 2);
+        }
+    }
+    return rebuild(trace, records);
+}
+
+// ---------------------------------------------------------------------------
+// Pair roster
+
+namespace {
+
+CheckPair
+twoLevelPair(const TwoLevelConfig &config)
+{
+    return {config.label,
+            [config] { return std::make_unique<predictor::TwoLevel>(config); },
+            [config] { return std::make_unique<RefTwoLevel>(config); }};
+}
+
+} // namespace
+
+std::vector<CheckPair>
+defaultCheckPairs()
+{
+    std::vector<CheckPair> pairs;
+
+    // Two-level family. Small geometries on purpose: fuzzed aliasing
+    // must actually collide for index arithmetic to be exercised.
+    pairs.push_back(twoLevelPair(TwoLevelConfig::gshare(8)));
+    pairs.push_back(twoLevelPair(TwoLevelConfig::gshare(16)));
+    {
+        TwoLevelConfig narrow = TwoLevelConfig::gshare(6);
+        narrow.counterBits = 1;
+        narrow.label = "gshare(h=6,cbits=1)";
+        pairs.push_back(twoLevelPair(narrow));
+        TwoLevelConfig wide = TwoLevelConfig::gshare(6);
+        wide.counterBits = 3;
+        wide.label = "gshare(h=6,cbits=3)";
+        pairs.push_back(twoLevelPair(wide));
+    }
+    pairs.push_back(twoLevelPair(TwoLevelConfig::gag(7)));
+    pairs.push_back(twoLevelPair(TwoLevelConfig::gas(5, 3)));
+    pairs.push_back(twoLevelPair(TwoLevelConfig::pas(7, 5, 3)));
+    pairs.push_back(twoLevelPair(TwoLevelConfig::pag(6, 4)));
+
+    pairs.push_back(
+        {"bimodal(6b)",
+         [] { return std::make_unique<predictor::Bimodal>(6); },
+         [] { return std::make_unique<RefBimodal>(6); }});
+
+    pairs.push_back(
+        {"loop",
+         [] { return std::make_unique<predictor::LoopPredictor>(); },
+         [] { return std::make_unique<RefLoop>(); }});
+
+    pairs.push_back(
+        {"block-pattern",
+         [] { return std::make_unique<predictor::BlockPatternPredictor>(); },
+         [] { return std::make_unique<RefBlockPattern>(); }});
+
+    for (unsigned k : {1u, 3u, 32u}) {
+        pairs.push_back(
+            {"fixed-k(" + std::to_string(k) + ")",
+             [k] { return std::make_unique<predictor::FixedPattern>(k); },
+             [k] { return std::make_unique<RefFixedPattern>(k); }});
+    }
+
+    pairs.push_back(
+        {"hybrid(gshare(7),pas(5,4,2))",
+         [] {
+             return std::make_unique<predictor::Hybrid>(
+                 std::make_unique<predictor::TwoLevel>(
+                     TwoLevelConfig::gshare(7)),
+                 std::make_unique<predictor::TwoLevel>(
+                     TwoLevelConfig::pas(5, 4, 2)),
+                 6);
+         },
+         [] {
+             return std::make_unique<RefHybrid>(
+                 std::make_unique<RefTwoLevel>(TwoLevelConfig::gshare(7)),
+                 std::make_unique<RefTwoLevel>(TwoLevelConfig::pas(5, 4, 2)),
+                 6);
+         }});
+
+    return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+
+SuiteReport
+runCheckSuite(const SuiteOptions &options,
+              const std::vector<CheckPair> &pairs)
+{
+    SuiteReport report;
+    for (uint64_t t = 0; t < options.traces; ++t) {
+        uint64_t seed = options.seedBase + t;
+        Trace trace = fuzzTrace(seed, options.conditionals);
+        ++report.tracesRun;
+        for (const CheckPair &pair : pairs) {
+            ++report.comparisons;
+            DiffResult diff =
+                diffPair(trace, pair, options.checkParallel);
+            if (diff.ok())
+                continue;
+            SuiteFailure failure;
+            failure.pair = pair.name;
+            failure.seed = seed;
+            failure.first = diff.mismatches.front();
+            if (options.minimize) {
+                // Shrink against the cheap paths only (scalar+batched);
+                // the parallel path adds nothing to localization.
+                failure.reproducer = minimizeTrace(
+                    trace, [&pair](const Trace &candidate) {
+                        return !diffPair(candidate, pair, false).ok();
+                    });
+            } else {
+                failure.reproducer = trace;
+            }
+            report.failures.push_back(std::move(failure));
+        }
+    }
+    return report;
+}
+
+std::string
+formatReport(const SuiteReport &report)
+{
+    std::ostringstream os;
+    os << "differential check: " << report.tracesRun << " traces, "
+       << report.comparisons << " replays, " << report.failures.size()
+       << " failure(s)\n";
+    for (const SuiteFailure &f : report.failures) {
+        os << "  FAIL pair=" << f.pair << " seed=" << f.seed << " path="
+           << f.first.path;
+        if (f.first.index == Mismatch::kAggregate) {
+            os << " (" << f.first.detail << ")";
+        } else {
+            os << " branch#" << f.first.index << " pc=0x" << std::hex
+               << f.first.pc << std::dec << " expected="
+               << (f.first.expected ? 'T' : 'N') << " got="
+               << (f.first.got ? 'T' : 'N');
+        }
+        os << " reproducer=" << f.reproducer.size() << " records\n";
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Injected bugs (harness self-test)
+
+namespace {
+
+/**
+ * PAs with the classic off-by-one: predictions read the right BHT row,
+ * but update() trains the history of the *neighboring* row.
+ */
+class BuggyPas : public predictor::Predictor
+{
+  public:
+    explicit BuggyPas(const TwoLevelConfig &config)
+        : config_(config)
+    {
+        historyMask_ = (uint64_t(1) << config.historyBits) - 1;
+        phtMask_ = (uint64_t(1) << config.phtBits) - 1;
+        histories_.assign(uint64_t(1) << config.bhtBits, 0);
+        pht_.assign(uint64_t(1) << config.phtBits, 1);
+    }
+
+    bool
+    predict(const trace::BranchRecord &br) override
+    {
+        return pht_[index(br.pc, row(br.pc))] > 1;
+    }
+
+    void
+    update(const trace::BranchRecord &br, bool taken) override
+    {
+        uint8_t &counter = pht_[index(br.pc, row(br.pc))];
+        if (taken && counter < 3)
+            ++counter;
+        else if (!taken && counter > 0)
+            --counter;
+        // BUG: trains the neighboring history row.
+        uint64_t wrong = (row(br.pc) + 1) % histories_.size();
+        histories_[wrong] =
+            ((histories_[wrong] << 1) | (taken ? 1 : 0)) & historyMask_;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(histories_.begin(), histories_.end(), 0);
+        std::fill(pht_.begin(), pht_.end(), 1);
+    }
+
+    std::string name() const override { return "buggy-" + config_.label; }
+
+  private:
+    uint64_t
+    row(uint64_t pc) const
+    {
+        return (pc >> 2) & (histories_.size() - 1);
+    }
+
+    uint64_t
+    index(uint64_t pc, uint64_t r) const
+    {
+        uint64_t hist = histories_[r] & historyMask_;
+        uint64_t select =
+            (pc >> 2) & ((uint64_t(1) << config_.pcSelectBits) - 1);
+        return ((select << config_.historyBits) | hist) & phtMask_;
+    }
+
+    TwoLevelConfig config_;
+    uint64_t historyMask_;
+    uint64_t phtMask_;
+    std::vector<uint64_t> histories_;
+    std::vector<uint8_t> pht_;
+};
+
+/**
+ * gshare whose batch path predicts each branch *before* applying the
+ * previous branch's update — the scalar path is untouched, so only the
+ * batched/run/parallel comparisons can catch it.
+ */
+class BatchStaleGshare : public predictor::TwoLevel
+{
+  public:
+    using TwoLevel::TwoLevel;
+
+    uint64_t
+    predictUpdateBatch(std::span<const trace::BranchRecord> batch,
+                       uint8_t *correct_out) override
+    {
+        uint64_t n_correct = 0;
+        bool have_pending = false;
+        trace::BranchRecord pending;
+        size_t i = 0;
+        for (const trace::BranchRecord &br : batch) {
+            bool prediction = predict(br); // BUG: pending update missing
+            if (have_pending)
+                update(pending, pending.taken);
+            pending = br;
+            have_pending = true;
+            bool correct = prediction == br.taken;
+            n_correct += correct ? 1 : 0;
+            if (correct_out)
+                correct_out[i] = correct ? 1 : 0;
+            ++i;
+        }
+        if (have_pending)
+            update(pending, pending.taken);
+        return n_correct;
+    }
+};
+
+/** Loop predictor that learns trip counts one too large. */
+class BuggyLoop : public predictor::Predictor
+{
+  public:
+    bool
+    predict(const trace::BranchRecord &br) override
+    {
+        auto it = table_.find(br.pc);
+        if (it == table_.end())
+            return true;
+        const State &st = it->second;
+        return st.run < st.trip ? st.dir : !st.dir;
+    }
+
+    void
+    update(const trace::BranchRecord &br, bool taken) override
+    {
+        auto it = table_.find(br.pc);
+        if (it == table_.end()) {
+            table_[br.pc] = State{taken, 1, 255};
+            return;
+        }
+        State &st = it->second;
+        if (taken == st.dir) {
+            if (st.run < 255)
+                ++st.run;
+        } else if (st.run == 0) {
+            st = State{taken, 1, 255};
+        } else {
+            st.trip = st.run + 1; // BUG: off by one
+            st.run = 0;
+        }
+    }
+
+    void reset() override { table_.clear(); }
+    std::string name() const override { return "buggy-loop"; }
+
+  private:
+    struct State
+    {
+        bool dir;
+        int run;
+        int trip;
+    };
+    std::unordered_map<uint64_t, State> table_;
+};
+
+} // namespace
+
+const char *
+injectedBugName(InjectedBug bug)
+{
+    switch (bug) {
+      case InjectedBug::PasHistoryOffByOne:
+        return "pas-history-off-by-one";
+      case InjectedBug::GshareBatchStaleHistory:
+        return "gshare-batch-stale-history";
+      case InjectedBug::LoopTripOffByOne:
+        return "loop-trip-off-by-one";
+    }
+    return "unknown";
+}
+
+CheckPair
+injectedBugPair(InjectedBug bug)
+{
+    switch (bug) {
+      case InjectedBug::PasHistoryOffByOne: {
+        TwoLevelConfig config = TwoLevelConfig::pas(7, 5, 3);
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] { return std::make_unique<BuggyPas>(config); },
+                [config] { return std::make_unique<RefTwoLevel>(config); }};
+      }
+      case InjectedBug::GshareBatchStaleHistory: {
+        TwoLevelConfig config = TwoLevelConfig::gshare(8);
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<BatchStaleGshare>(config);
+                },
+                [config] { return std::make_unique<RefTwoLevel>(config); }};
+      }
+      case InjectedBug::LoopTripOffByOne:
+        return {std::string("injected:") + injectedBugName(bug),
+                [] { return std::make_unique<BuggyLoop>(); },
+                [] { return std::make_unique<RefLoop>(); }};
+    }
+    panic("unknown injected bug");
+}
+
+} // namespace copra::check

@@ -1,0 +1,307 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/logging.hpp"
+
+namespace copra::check {
+
+using trace::BranchKind;
+using trace::BranchRecord;
+using trace::Trace;
+
+namespace {
+
+/** A conditional record; target direction chosen by the caller. */
+BranchRecord
+cond(uint64_t pc, uint64_t target, bool taken)
+{
+    return {pc, target, BranchKind::Conditional, taken};
+}
+
+void
+degeneratePcs(Trace &out, Rng &rng, uint64_t n)
+{
+    // A tiny set of the worst addresses: zero, the smallest aligned pc,
+    // unaligned pcs (the >> 2 word indexing must not crash or alias
+    // differently between implementations), and pcs at the very top of
+    // the 64-bit space (index masking must not overflow).
+    static constexpr uint64_t kNasty[] = {
+        0x0, 0x4, 0x3, 0x7, 0xffffffffffffff00ull, 0xfffffffffffffffcull,
+        0xffffffffffffffffull, 0x80000000ull, 0x7ffffffcull,
+    };
+    size_t npcs = 1 + rng.index(3); // hammer 1..3 of them
+    uint64_t pcs[3];
+    for (size_t i = 0; i < npcs; ++i)
+        pcs[i] = kNasty[rng.index(std::size(kNasty))];
+    double bias = rng.bernoulli(0.5) ? 0.5 : (rng.bernoulli(0.5) ? 0.99 : 0.01);
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t pc = pcs[rng.index(npcs)];
+        // Mix forward and backward targets so isBackward() sees both.
+        uint64_t target = rng.bernoulli(0.5) ? pc + 4 + rng.index(256) * 4
+                                             : pc - rng.index(64) * 4;
+        out.append(cond(pc, target, rng.bernoulli(bias)));
+    }
+}
+
+void
+aliasHeavy(Trace &out, Rng &rng, uint64_t n)
+{
+    // Strided pcs that collide in any table indexed by fewer than
+    // `aliasBits` word-address bits: pc_i = base + i * (4 << aliasBits).
+    unsigned alias_bits = 4 + static_cast<unsigned>(rng.index(13)); // 4..16
+    size_t npcs = 4 + rng.index(29);                                // 4..32
+    uint64_t base = rng.index(1 << 20) * 4;
+    uint64_t stride = uint64_t(4) << alias_bits;
+    // Per-pc fixed bias so counters pull in conflicting directions.
+    std::vector<double> bias(npcs);
+    for (double &b : bias)
+        b = rng.uniform();
+    for (uint64_t i = 0; i < n; ++i) {
+        size_t which = rng.index(npcs);
+        uint64_t pc = base + which * stride;
+        out.append(cond(pc, pc + 8, rng.bernoulli(bias[which])));
+    }
+}
+
+void
+loopNests(Trace &out, Rng &rng, uint64_t n)
+{
+    // Loop branches with trip counts hugging the predictor's 255-run
+    // saturation boundary plus the degenerate 1-2 trips, emitted as
+    // alternating taken-blocks and a single exit (for-type) or the
+    // mirrored while-type shape.
+    static constexpr uint64_t kTrips[] = {1, 2, 3, 8, 254, 255, 256, 300};
+    size_t nloops = 1 + rng.index(4);
+    struct Loop
+    {
+        uint64_t pc;
+        uint64_t trip;
+        bool forType;   // taken trip times then one not-taken
+        uint64_t phase = 0;
+    };
+    std::vector<Loop> loops(nloops);
+    for (Loop &lp : loops) {
+        lp.pc = 0x1000 + rng.index(1 << 12) * 4;
+        lp.trip = kTrips[rng.index(std::size(kTrips))];
+        lp.forType = rng.bernoulli(0.7);
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+        Loop &lp = loops[rng.index(nloops)];
+        bool body = lp.phase < lp.trip;
+        bool taken = lp.forType ? body : !body;
+        lp.phase = body ? lp.phase + 1 : 0;
+        // Loop-closing shape: backward target when taken direction is
+        // the body (isBackward() true), forward exit otherwise.
+        out.append(cond(lp.pc, lp.pc - 16, taken));
+        // Occasionally perturb the trip count mid-stream, the
+        // "changes infrequently" case of paper §4.1.1.
+        if (lp.phase == 0 && rng.bernoulli(0.05))
+            lp.trip = kTrips[rng.index(std::size(kTrips))];
+    }
+}
+
+void
+correlationChain(Trace &out, Rng &rng, uint64_t n)
+{
+    // Source branches take random outcomes; sink branches compute the
+    // XOR of the last `depth` outcomes overall — exactly the signal a
+    // history-indexed predictor keys on, and the hardest case for any
+    // optimized path that mis-orders history updates.
+    unsigned depth = 1 + static_cast<unsigned>(rng.index(16)); // 1..16
+    size_t nsrc = 1 + rng.index(6);
+    uint64_t sink_pc = 0x9000;
+    std::vector<bool> recent;
+    for (uint64_t i = 0; i < n; ++i) {
+        bool is_sink = !recent.empty() && rng.bernoulli(0.4);
+        uint64_t pc;
+        bool taken;
+        if (is_sink) {
+            pc = sink_pc;
+            bool x = false;
+            size_t lookback = std::min<size_t>(depth, recent.size());
+            for (size_t j = recent.size() - lookback; j < recent.size(); ++j)
+                x ^= recent[j];
+            taken = x;
+        } else {
+            pc = 0x8000 + rng.index(nsrc) * 4;
+            taken = rng.bernoulli(0.5);
+        }
+        recent.push_back(taken);
+        if (recent.size() > 64)
+            recent.erase(recent.begin());
+        out.append(cond(pc, pc + 4 + rng.index(32) * 4, taken));
+    }
+}
+
+void
+mixedKinds(Trace &out, Rng &rng, uint64_t n)
+{
+    // Conditionals with jumps/calls/returns spliced between them: the
+    // driver batches maximal conditional runs, so every non-conditional
+    // record is a batch boundary, and observe() must stay a no-op for
+    // table predictors no matter where it lands.
+    static constexpr BranchKind kOther[] = {BranchKind::Jump,
+                                            BranchKind::Call,
+                                            BranchKind::Return};
+    size_t npcs = 2 + rng.index(15);
+    uint64_t emitted = 0;
+    while (emitted < n) {
+        uint64_t run = 1 + rng.index(8);
+        for (uint64_t j = 0; j < run && emitted < n; ++j, ++emitted) {
+            uint64_t pc = 0x2000 + rng.index(npcs) * 4;
+            out.append(cond(pc, pc - 8, rng.bernoulli(0.6)));
+        }
+        uint64_t breaks = rng.index(3); // 0..2 non-conditionals
+        for (uint64_t j = 0; j < breaks; ++j) {
+            uint64_t pc = 0x4000 + rng.index(64) * 4;
+            BranchKind kind = kOther[rng.index(std::size(kOther))];
+            // Non-conditional transfers are always taken by convention.
+            out.append({pc, pc + 64, kind, true});
+        }
+    }
+}
+
+void
+randomSoup(Trace &out, Rng &rng, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        BranchRecord rec;
+        rec.pc = rng.next();
+        rec.target = rng.next();
+        rec.kind = BranchKind::Conditional;
+        rec.taken = rng.bernoulli(0.5);
+        out.append(rec);
+    }
+}
+
+} // namespace
+
+const char *
+fuzzShapeName(FuzzShape shape)
+{
+    switch (shape) {
+      case FuzzShape::DegeneratePcs:    return "degenerate-pcs";
+      case FuzzShape::AliasHeavy:       return "alias-heavy";
+      case FuzzShape::LoopNests:        return "loop-nests";
+      case FuzzShape::CorrelationChain: return "correlation-chain";
+      case FuzzShape::MixedKinds:       return "mixed-kinds";
+      case FuzzShape::RandomSoup:       return "random-soup";
+    }
+    return "unknown";
+}
+
+void
+appendFuzzSegment(trace::Trace &out, FuzzShape shape, Rng &rng,
+                  uint64_t conditionals)
+{
+    switch (shape) {
+      case FuzzShape::DegeneratePcs:
+        degeneratePcs(out, rng, conditionals);
+        break;
+      case FuzzShape::AliasHeavy:
+        aliasHeavy(out, rng, conditionals);
+        break;
+      case FuzzShape::LoopNests:
+        loopNests(out, rng, conditionals);
+        break;
+      case FuzzShape::CorrelationChain:
+        correlationChain(out, rng, conditionals);
+        break;
+      case FuzzShape::MixedKinds:
+        mixedKinds(out, rng, conditionals);
+        break;
+      case FuzzShape::RandomSoup:
+        randomSoup(out, rng, conditionals);
+        break;
+    }
+}
+
+trace::Trace
+fuzzTrace(uint64_t seed, uint64_t conditionals)
+{
+    Rng rng(mix64(seed ^ 0xc0ffee));
+    Trace out("fuzz-" + std::to_string(seed), seed);
+    uint64_t segments = 1 + rng.index(4); // 1..4 shapes per trace
+    uint64_t left = conditionals;
+    for (uint64_t s = 0; s < segments; ++s) {
+        uint64_t share = s + 1 == segments
+            ? left
+            : left / (segments - s);
+        auto shape = static_cast<FuzzShape>(rng.index(kFuzzShapeCount));
+        appendFuzzSegment(out, shape, rng, share);
+        left -= share;
+    }
+    return out;
+}
+
+std::string
+corruptBytes(const std::string &bytes, uint64_t seed)
+{
+    Rng rng(mix64(seed ^ 0xbadbadull));
+    std::string mutated = bytes;
+    // Mutation kinds, weighted toward header damage (the paths the
+    // trace cache must survive): 0 truncate, 1 magic smash, 2 version
+    // bump, 3 record-count inflate, 4 kind poison, 5 payload bit flip.
+    unsigned kind = static_cast<unsigned>(rng.index(6));
+    switch (kind) {
+      case 0: // truncate anywhere, including mid-header and mid-record
+        mutated.resize(rng.index(bytes.empty() ? 1 : bytes.size()));
+        if (mutated == bytes)
+            mutated.resize(bytes.size() / 2);
+        break;
+      case 1: // smash one magic byte
+        if (mutated.size() >= 8)
+            mutated[rng.index(8)] ^= char(0x40 | (1 + rng.index(0x3f)));
+        break;
+      case 2: // implausible format version (offset 8..11)
+        if (mutated.size() >= 12)
+            mutated[8 + rng.index(4)] ^= char(1 + rng.index(0xff));
+        break;
+      case 3: { // inflate the record count so records run past EOF.
+        // Count is the u64 after magic(8) + version(4) + seed(8) +
+        // name_len(4) + name bytes.
+        if (mutated.size() >= 24) {
+            uint32_t name_len = 0;
+            for (int i = 3; i >= 0; --i) {
+                name_len = (name_len << 8) |
+                    static_cast<unsigned char>(mutated[20 + i]);
+            }
+            size_t count_off = 24 + name_len;
+            if (count_off + 8 <= mutated.size())
+                mutated[count_off + 7] = char(0x7f); // count |= 2^63-ish
+        }
+        break;
+      }
+      case 4: { // poison one record's kind byte (offset 16 in a record)
+        size_t header = 0;
+        if (mutated.size() >= 24) {
+            uint32_t name_len = 0;
+            for (int i = 3; i >= 0; --i) {
+                name_len = (name_len << 8) |
+                    static_cast<unsigned char>(mutated[20 + i]);
+            }
+            header = 24 + name_len + 8;
+        }
+        if (mutated.size() > header + 18) {
+            size_t nrec = (mutated.size() - header) / 18;
+            size_t off = header + rng.index(nrec) * 18 + 16;
+            if (off < mutated.size())
+                mutated[off] = char(4 + rng.index(250)); // kind > Return
+        }
+        break;
+      }
+      default: // flip one payload bit anywhere
+        if (!mutated.empty()) {
+            size_t off = rng.index(mutated.size());
+            mutated[off] ^= char(1 << rng.index(8));
+        }
+        break;
+    }
+    if (mutated == bytes && !mutated.empty())
+        mutated.pop_back(); // guarantee the copy differs
+    return mutated;
+}
+
+} // namespace copra::check

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic adversarial trace fuzzer for the differential
+ * verification subsystem.
+ *
+ * fuzzTrace(seed, n) produces a branch stream built from a seed-chosen
+ * mix of adversarial shapes: degenerate PCs (zero, unaligned, near the
+ * top of the address space, or a single hammered address), alias-heavy
+ * address sets that collide in small prediction tables, pathological
+ * loop trip counts straddling the 255-saturation boundary, correlation
+ * chains whose outcomes are functions of recent history, interleaved
+ * non-conditional control transfers (exercising observe() and the
+ * driver's batch-boundary logic), and plain random soup. The same seed
+ * always yields byte-identical records, so every failure is a
+ * one-integer reproducer.
+ *
+ * corruptBytes() is the companion byte-level mutator for serialized
+ * traces: it applies a seed-chosen corruption (truncation, bit flip,
+ * magic/version smash, kind poisoning, record-count inflation) for
+ * trace_io / trace_cache robustness fuzzing.
+ */
+
+#ifndef COPRA_CHECK_FUZZ_HPP
+#define COPRA_CHECK_FUZZ_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace copra::check {
+
+/** The adversarial stream shapes the fuzzer composes. */
+enum class FuzzShape : uint8_t
+{
+    DegeneratePcs = 0,  //!< pc 0 / unaligned / top-of-address-space / hammered
+    AliasHeavy,         //!< strided pcs colliding in small tables
+    LoopNests,          //!< trip counts around 1, 2, 254..257 saturation
+    CorrelationChain,   //!< outcomes = xor of recent source branches
+    MixedKinds,         //!< jumps/calls/returns splitting batch runs
+    RandomSoup,         //!< everything uniformly random
+};
+
+/** Number of FuzzShape values (for enumeration in tests). */
+inline constexpr unsigned kFuzzShapeCount = 6;
+
+/** Human-readable shape name. */
+const char *fuzzShapeName(FuzzShape shape);
+
+/**
+ * Append one shape's segment to @p out, emitting exactly @p conditionals
+ * conditional branches (plus any non-conditional records the shape
+ * interleaves). Deterministic given the Rng state.
+ */
+void appendFuzzSegment(trace::Trace &out, FuzzShape shape, Rng &rng,
+                       uint64_t conditionals);
+
+/**
+ * Build a fuzz trace of roughly @p conditionals conditional branches
+ * (exactly that many, spread over 1..4 seed-chosen segments). The trace
+ * is named "fuzz-<seed>" and records the seed.
+ */
+trace::Trace fuzzTrace(uint64_t seed, uint64_t conditionals = 2000);
+
+/**
+ * Return a corrupted copy of @p bytes (a serialized binary trace). The
+ * mutation is chosen from the seed; the result is guaranteed to differ
+ * from the input. Mutations targeting the header (magic, version,
+ * record count, kind bytes, truncation) make readBinary() throw; a
+ * payload bit flip may instead yield a different-but-valid trace, which
+ * is also a legitimate fuzz outcome.
+ */
+std::string corruptBytes(const std::string &bytes, uint64_t seed);
+
+} // namespace copra::check
+
+#endif // COPRA_CHECK_FUZZ_HPP

@@ -1,0 +1,350 @@
+#include "check/ref_models.hpp"
+
+#include "util/logging.hpp"
+
+namespace copra::check {
+
+using predictor::TwoLevelConfig;
+
+// ---------------------------------------------------------------------------
+// RefTwoLevel
+
+RefTwoLevel::RefTwoLevel(const TwoLevelConfig &config)
+    : config_(config)
+{
+    fatalIf(config.historyBits == 0 || config.historyBits > 32,
+            "ref two-level history bits must be in 1..32");
+    fatalIf(config.counterBits == 0 || config.counterBits > 8,
+            "ref two-level counter bits must be in 1..8");
+    counterMax_ = (1 << config.counterBits) - 1;
+    // Weakly-not-taken: the largest value still predicting not-taken.
+    counterInit_ = (counterMax_ + 1) / 2 - 1;
+}
+
+uint64_t
+RefTwoLevel::historyOf(uint64_t pc) const
+{
+    uint64_t row = 0;
+    if (config_.scope == TwoLevelConfig::Scope::PerAddress) {
+        // Branches are word aligned; the BHT is indexed by the low
+        // bhtBits bits of the word address.
+        row = (pc >> 2) % (uint64_t(1) << config_.bhtBits);
+    }
+    auto it = histories_.find(row);
+    return it == histories_.end() ? 0 : it->second;
+}
+
+uint64_t
+RefTwoLevel::phtIndexOf(uint64_t pc) const
+{
+    uint64_t history_mask = (uint64_t(1) << config_.historyBits) - 1;
+    uint64_t pht_entries = uint64_t(1) << config_.phtBits;
+    uint64_t hist = historyOf(pc) & history_mask;
+    uint64_t word = pc >> 2;
+    switch (config_.index) {
+      case TwoLevelConfig::Index::HistoryOnly:
+        return hist % pht_entries;
+      case TwoLevelConfig::Index::Concat: {
+        uint64_t select = word % (uint64_t(1) << config_.pcSelectBits);
+        return ((select << config_.historyBits) | hist) % pht_entries;
+      }
+      case TwoLevelConfig::Index::Xor:
+        return (hist ^ word) % pht_entries;
+    }
+    return 0;
+}
+
+int
+RefTwoLevel::counterOf(uint64_t index) const
+{
+    auto it = counters_.find(index);
+    return it == counters_.end() ? counterInit_ : it->second;
+}
+
+bool
+RefTwoLevel::predict(const trace::BranchRecord &br)
+{
+    // Taken iff the counter is past the weakly-not-taken init value,
+    // i.e. its most significant bit is set.
+    return counterOf(phtIndexOf(br.pc)) > counterInit_;
+}
+
+void
+RefTwoLevel::update(const trace::BranchRecord &br, bool taken)
+{
+    // Train the counter selected under the *pre-update* history, then
+    // shift the outcome into the first-level history.
+    uint64_t index = phtIndexOf(br.pc);
+    int counter = counterOf(index);
+    if (taken)
+        counter = counter + 1;
+    else
+        counter = counter - 1;
+    if (counter < 0)
+        counter = 0;
+    if (counter > counterMax_)
+        counter = counterMax_;
+    counters_[index] = counter;
+
+    uint64_t row = 0;
+    if (config_.scope == TwoLevelConfig::Scope::PerAddress)
+        row = (br.pc >> 2) % (uint64_t(1) << config_.bhtBits);
+    uint64_t history_mask = (uint64_t(1) << config_.historyBits) - 1;
+    uint64_t hist = 0;
+    auto it = histories_.find(row);
+    if (it != histories_.end())
+        hist = it->second;
+    histories_[row] = ((hist << 1) | (taken ? 1 : 0)) & history_mask;
+}
+
+void
+RefTwoLevel::reset()
+{
+    histories_.clear();
+    counters_.clear();
+}
+
+std::string
+RefTwoLevel::name() const
+{
+    return "ref-" + config_.label;
+}
+
+// ---------------------------------------------------------------------------
+// RefBimodal
+
+RefBimodal::RefBimodal(unsigned table_bits)
+    : tableBits_(table_bits)
+{
+    fatalIf(table_bits == 0 || table_bits > 30,
+            "ref bimodal table bits must be in 1..30");
+}
+
+bool
+RefBimodal::predict(const trace::BranchRecord &br)
+{
+    uint64_t index = (br.pc >> 2) % (uint64_t(1) << tableBits_);
+    auto it = counters_.find(index);
+    int counter = it == counters_.end() ? 1 : it->second;
+    return counter >= 2;
+}
+
+void
+RefBimodal::update(const trace::BranchRecord &br, bool taken)
+{
+    uint64_t index = (br.pc >> 2) % (uint64_t(1) << tableBits_);
+    auto it = counters_.find(index);
+    int counter = it == counters_.end() ? 1 : it->second;
+    counter += taken ? 1 : -1;
+    if (counter < 0)
+        counter = 0;
+    if (counter > 3)
+        counter = 3;
+    counters_[index] = counter;
+}
+
+void
+RefBimodal::reset()
+{
+    counters_.clear();
+}
+
+std::string
+RefBimodal::name() const
+{
+    return "ref-bimodal(" + std::to_string(tableBits_) + "b)";
+}
+
+// ---------------------------------------------------------------------------
+// RefLoop
+
+bool
+RefLoop::predict(const trace::BranchRecord &br)
+{
+    auto it = table_.find(br.pc);
+    if (it == table_.end())
+        return true; // cold: default taken
+    const State &st = it->second;
+    // Body direction for the learned trip count, then one exit
+    // prediction of the opposite direction.
+    if (st.run < st.trip)
+        return st.dir;
+    return !st.dir;
+}
+
+void
+RefLoop::update(const trace::BranchRecord &br, bool taken)
+{
+    auto it = table_.find(br.pc);
+    if (it == table_.end()) {
+        State st;
+        st.dir = taken;
+        st.run = 1;
+        st.trip = 255;
+        table_[br.pc] = st;
+        return;
+    }
+    State &st = it->second;
+    if (taken == st.dir) {
+        if (st.run < 255)
+            st.run = st.run + 1;
+    } else if (st.run == 0) {
+        // Two consecutive opposite outcomes: the body direction we
+        // learned was wrong (or this is a while-type branch); flip it.
+        st.dir = taken;
+        st.run = 1;
+        st.trip = 255;
+    } else {
+        // The run ended: its length is the new learned trip count.
+        st.trip = st.run;
+        st.run = 0;
+    }
+}
+
+void
+RefLoop::reset()
+{
+    table_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// RefBlockPattern
+
+bool
+RefBlockPattern::predict(const trace::BranchRecord &br)
+{
+    auto it = table_.find(br.pc);
+    if (it == table_.end())
+        return true; // cold: default taken
+    const State &st = it->second;
+    if (st.run < st.lastRun[st.dir ? 1 : 0])
+        return st.dir;
+    return !st.dir;
+}
+
+void
+RefBlockPattern::update(const trace::BranchRecord &br, bool taken)
+{
+    auto it = table_.find(br.pc);
+    if (it == table_.end()) {
+        State st;
+        st.dir = taken;
+        st.run = 1;
+        table_[br.pc] = st;
+        return;
+    }
+    State &st = it->second;
+    if (taken == st.dir) {
+        if (st.run < 255)
+            st.run = st.run + 1;
+    } else {
+        st.lastRun[st.dir ? 1 : 0] = st.run;
+        st.dir = taken;
+        st.run = 1;
+    }
+}
+
+void
+RefBlockPattern::reset()
+{
+    table_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// RefFixedPattern
+
+RefFixedPattern::RefFixedPattern(unsigned k)
+    : k_(k)
+{
+    fatalIf(k == 0 || k > 32, "ref fixed-pattern k must be in 1..32");
+}
+
+bool
+RefFixedPattern::predict(const trace::BranchRecord &br)
+{
+    auto it = outcomes_.find(br.pc);
+    if (it == outcomes_.end())
+        return true;
+    const std::vector<bool> &seen = it->second;
+    if (seen.size() < k_)
+        return true; // cold default until k outcomes exist
+    return seen[seen.size() - k_];
+}
+
+void
+RefFixedPattern::update(const trace::BranchRecord &br, bool taken)
+{
+    outcomes_[br.pc].push_back(taken);
+}
+
+void
+RefFixedPattern::reset()
+{
+    outcomes_.clear();
+}
+
+std::string
+RefFixedPattern::name() const
+{
+    return "ref-fixed-k(" + std::to_string(k_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// RefHybrid
+
+RefHybrid::RefHybrid(predictor::PredictorPtr a, predictor::PredictorPtr b,
+                     unsigned chooser_bits)
+    : a_(std::move(a)), b_(std::move(b)), chooserBits_(chooser_bits)
+{
+    fatalIf(!a_ || !b_, "ref hybrid needs two components");
+    fatalIf(chooser_bits == 0 || chooser_bits > 24,
+            "ref hybrid chooser bits must be in 1..24");
+}
+
+bool
+RefHybrid::predict(const trace::BranchRecord &br)
+{
+    lastA_ = a_->predict(br);
+    lastB_ = b_->predict(br);
+    uint64_t index = (br.pc >> 2) % (uint64_t(1) << chooserBits_);
+    auto it = chooser_.find(index);
+    int counter = it == chooser_.end() ? 2 : it->second;
+    // Counter >= 2 (weakly/strongly "A") selects component A.
+    return counter >= 2 ? lastA_ : lastB_;
+}
+
+void
+RefHybrid::update(const trace::BranchRecord &br, bool taken)
+{
+    bool correct_a = lastA_ == taken;
+    bool correct_b = lastB_ == taken;
+    if (correct_a != correct_b) {
+        uint64_t index = (br.pc >> 2) % (uint64_t(1) << chooserBits_);
+        auto it = chooser_.find(index);
+        int counter = it == chooser_.end() ? 2 : it->second;
+        counter += correct_a ? 1 : -1;
+        if (counter < 0)
+            counter = 0;
+        if (counter > 3)
+            counter = 3;
+        chooser_[index] = counter;
+    }
+    a_->update(br, taken);
+    b_->update(br, taken);
+}
+
+void
+RefHybrid::reset()
+{
+    a_->reset();
+    b_->reset();
+    chooser_.clear();
+}
+
+std::string
+RefHybrid::name() const
+{
+    return "ref-hybrid(" + a_->name() + "," + b_->name() + ")";
+}
+
+} // namespace copra::check

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Reference branch predictor models for differential verification.
+ *
+ * Every model here is a second, independent implementation of a
+ * predictor that already exists under src/predictor/, written for
+ * *obvious correctness* rather than speed: tables are std::map (sparse,
+ * no masking tricks beyond what the semantics demand), counters are
+ * plain ints clamped explicitly, and there are no batch overrides — a
+ * reference model only ever sees the classic predict()/update() call
+ * sequence. The differential runner (check/differential.hpp) replays
+ * the same trace through the optimized predictor and its reference and
+ * diffs the per-branch prediction streams, so any divergence in the
+ * optimized scalar, batched, or parallel paths is caught mechanically.
+ *
+ * The semantics replicated here are the *documented* semantics of the
+ * optimized models (weakly-not-taken counter init, pc >> 2 word
+ * indexing, history masks, cold defaults). Keep the two in sync on
+ * purpose: when a predictor's contract changes, its reference must be
+ * changed in the same commit, which is exactly the review speed bump
+ * this subsystem exists to create.
+ */
+
+#ifndef COPRA_CHECK_REF_MODELS_HPP
+#define COPRA_CHECK_REF_MODELS_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "predictor/predictor.hpp"
+#include "predictor/two_level.hpp"
+
+namespace copra::check {
+
+/**
+ * Reference two-level adaptive predictor covering the whole
+ * gshare / GAg / GAs / PAs / PAg family via the same TwoLevelConfig the
+ * optimized engine consumes (the config is shared *data*; none of the
+ * optimized logic is reused).
+ */
+class RefTwoLevel : public predictor::Predictor
+{
+  public:
+    explicit RefTwoLevel(const predictor::TwoLevelConfig &config);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    uint64_t historyOf(uint64_t pc) const;
+    uint64_t phtIndexOf(uint64_t pc) const;
+    int counterOf(uint64_t index) const;
+
+    predictor::TwoLevelConfig config_;
+    int counterMax_;
+    int counterInit_;
+    // Sparse tables: absent entries hold the documented initial state
+    // (history 0, counter weakly-not-taken).
+    std::map<uint64_t, uint64_t> histories_; // bht row -> history bits
+    std::map<uint64_t, int> counters_;       // pht index -> counter
+};
+
+/** Reference bimodal predictor: per-index 2-bit counter, init weakly-NT. */
+class RefBimodal : public predictor::Predictor
+{
+  public:
+    explicit RefBimodal(unsigned table_bits = 12);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    unsigned tableBits_;
+    std::map<uint64_t, int> counters_; // table index -> counter 0..3
+};
+
+/**
+ * Reference loop predictor (paper §4.1.1) over a perfect per-pc table:
+ * predict the learned body direction for the learned trip count, then
+ * one opposite prediction; cold branches predict taken.
+ */
+class RefLoop : public predictor::Predictor
+{
+  public:
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override { return "ref-loop"; }
+
+  private:
+    struct State
+    {
+        bool dir = true;   // repeated ("body") direction
+        int run = 0;       // current same-direction run length
+        int trip = 255;    // learned trip count (previous run of dir)
+    };
+    std::map<uint64_t, State> table_;
+};
+
+/**
+ * Reference block-pattern predictor (paper §4.1.2): continue the current
+ * same-direction block until it reaches the length of the last completed
+ * block in that direction, then switch; cold branches predict taken.
+ */
+class RefBlockPattern : public predictor::Predictor
+{
+  public:
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override { return "ref-block"; }
+
+  private:
+    struct State
+    {
+        bool dir = true;        // direction of the in-progress block
+        int run = 0;            // its length so far
+        int lastRun[2] = {255, 255}; // [0]=not-taken, [1]=taken
+    };
+    std::map<uint64_t, State> table_;
+};
+
+/**
+ * Reference fixed-length-pattern predictor: replay the branch's outcome
+ * from k executions ago (cold default taken until k outcomes exist).
+ */
+class RefFixedPattern : public predictor::Predictor
+{
+  public:
+    explicit RefFixedPattern(unsigned k);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    unsigned k_;
+    // Full outcome history per branch, newest last. Clarity over
+    // space: the reference keeps everything and indexes from the end.
+    std::map<uint64_t, std::vector<bool>> outcomes_;
+};
+
+/**
+ * Reference tournament predictor: two reference components and a
+ * per-index 2-bit chooser (init weakly-taken = 2, selecting A); the
+ * chooser trains only when exactly one component was correct.
+ */
+class RefHybrid : public predictor::Predictor
+{
+  public:
+    RefHybrid(predictor::PredictorPtr a, predictor::PredictorPtr b,
+              unsigned chooser_bits = 12);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    predictor::PredictorPtr a_;
+    predictor::PredictorPtr b_;
+    unsigned chooserBits_;
+    std::map<uint64_t, int> chooser_; // chooser index -> counter 0..3
+    bool lastA_ = false;
+    bool lastB_ = false;
+};
+
+} // namespace copra::check
+
+#endif // COPRA_CHECK_REF_MODELS_HPP

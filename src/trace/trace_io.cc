@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -91,6 +92,11 @@ readBinary(std::istream &is)
                                  std::to_string(version));
     uint64_t seed = getU64(is);
     uint32_t name_len = getU32(is);
+    // A malformed header must not drive allocations: cap the name at a
+    // size no legitimate writer produces before trusting the field.
+    if (name_len > (1u << 16))
+        throw std::runtime_error("copra trace: implausible name length " +
+                                 std::to_string(name_len));
     std::string name(name_len, '\0');
     is.read(name.data(), name_len);
     if (!is)
@@ -98,7 +104,10 @@ readBinary(std::istream &is)
     uint64_t count = getU64(is);
 
     Trace trace(name, seed);
-    trace.reserve(count);
+    // An inflated count is detected by the truncated-record throw below;
+    // only pre-reserve what the field claims up to a sane bound so a
+    // corrupt header cannot force a huge up-front allocation.
+    trace.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
     for (uint64_t i = 0; i < count; ++i) {
         BranchRecord rec;
         rec.pc = getU64(is);

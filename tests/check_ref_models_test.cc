@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the reference models themselves: cold-start defaults,
+ * table semantics on tiny hand-written traces, and spot agreement with
+ * the optimized implementations on short streams (full-scale agreement
+ * is the differential suite's job; here we pin the *reference* side so
+ * a bug cannot hide in both implementations at once).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/ref_models.hpp"
+#include "predictor/bimodal.hpp"
+#include "util/rng.hpp"
+#include "predictor/loop_predictor.hpp"
+#include "predictor/two_level.hpp"
+
+namespace copra::check {
+namespace {
+
+using predictor::TwoLevelConfig;
+using trace::BranchKind;
+using trace::BranchRecord;
+
+BranchRecord
+cond(uint64_t pc, bool taken)
+{
+    return {pc, pc + 8, BranchKind::Conditional, taken};
+}
+
+TEST(RefTwoLevel, ColdStartPredictsNotTaken)
+{
+    // Counters initialize weakly-not-taken for every width.
+    for (unsigned cbits : {1u, 2u, 3u}) {
+        TwoLevelConfig config = TwoLevelConfig::gshare(8);
+        config.counterBits = cbits;
+        RefTwoLevel ref(config);
+        EXPECT_FALSE(ref.predict(cond(0x100, true)))
+            << "cbits=" << cbits;
+    }
+}
+
+TEST(RefTwoLevel, LearnsAlternationThroughHistory)
+{
+    // With history indexing, a strictly alternating branch becomes
+    // perfectly predictable once the counters for both history patterns
+    // are trained; a plain counter never gets there.
+    RefTwoLevel ref(TwoLevelConfig::gshare(4));
+    bool taken = true;
+    int correct_tail = 0;
+    for (int i = 0; i < 200; ++i) {
+        bool p = ref.predict(cond(0x40, taken));
+        ref.update(cond(0x40, taken), taken);
+        if (i >= 150 && p == taken)
+            ++correct_tail;
+        taken = !taken;
+    }
+    EXPECT_EQ(correct_tail, 50) << "alternation must become perfect";
+}
+
+TEST(RefTwoLevel, PerAddressScopeKeepsHistoriesSeparate)
+{
+    // Two branches in different BHT rows must not share history: train
+    // pc A heavily, then check pc B still sees a cold table.
+    TwoLevelConfig config = TwoLevelConfig::pas(6, 4, 2);
+    RefTwoLevel ref(config);
+    for (int i = 0; i < 64; ++i)
+        ref.update(cond(0x100, true), true);
+    // 0x100 >> 2 = 0x40 -> row 0; 0x104 >> 2 = 0x41 -> row 1.
+    // Row 1's history is still zero; its pattern counter is untouched
+    // only if the PHT index differs, which the pc select bits ensure.
+    EXPECT_FALSE(ref.predict(cond(0x104, true)));
+}
+
+TEST(RefTwoLevel, AgreesWithOptimizedOnShortStream)
+{
+    for (const TwoLevelConfig &config :
+         {TwoLevelConfig::gshare(5), TwoLevelConfig::gag(4),
+          TwoLevelConfig::gas(4, 2), TwoLevelConfig::pas(4, 3, 2),
+          TwoLevelConfig::pag(4, 3)}) {
+        predictor::TwoLevel opt(config);
+        RefTwoLevel ref(config);
+        uint64_t state = 0x1234 ^ config.phtBits;
+        for (int i = 0; i < 500; ++i) {
+            uint64_t pc = (splitmix64(state) % 32) * 4;
+            bool taken = splitmix64(state) & 1;
+            BranchRecord br = cond(pc, taken);
+            EXPECT_EQ(ref.predict(br), opt.predict(br))
+                << config.label << " diverged at branch " << i;
+            ref.update(br, taken);
+            opt.update(br, taken);
+        }
+    }
+}
+
+TEST(RefBimodal, MatchesTwoBitCounterSemantics)
+{
+    RefBimodal ref(4);
+    BranchRecord br = cond(0x20, true);
+    EXPECT_FALSE(ref.predict(br)); // init weakly-not-taken
+    ref.update(br, true);
+    EXPECT_TRUE(ref.predict(br)); // 1 -> 2 crosses the threshold
+    ref.update(br, false);
+    EXPECT_FALSE(ref.predict(br)); // back to 1
+    // Saturation at 3: two not-takens needed to flip after 2 takens.
+    ref.update(br, true);
+    ref.update(br, true);
+    ref.update(br, false);
+    EXPECT_TRUE(ref.predict(br));
+}
+
+TEST(RefBimodal, AliasesExactlyLikeOptimized)
+{
+    predictor::Bimodal opt(3);
+    RefBimodal ref(3);
+    // 16 pcs over an 8-entry table: every counter is shared by two pcs.
+    uint64_t state = 99;
+    for (int i = 0; i < 400; ++i) {
+        uint64_t pc = (splitmix64(state) % 16) * 4;
+        bool taken = splitmix64(state) & 1;
+        BranchRecord br = cond(pc, taken);
+        ASSERT_EQ(ref.predict(br), opt.predict(br)) << "branch " << i;
+        ref.update(br, taken);
+        opt.update(br, taken);
+    }
+}
+
+TEST(RefLoop, PerfectOnFixedTripLoopAfterOneTrip)
+{
+    RefLoop ref;
+    const int trip = 7;
+    int mispredicts_after_warmup = 0;
+    for (int iter = 0; iter < 20; ++iter) {
+        for (int i = 0; i < trip + 1; ++i) {
+            bool taken = i < trip; // for-type: taken trip times, then exit
+            BranchRecord br = cond(0x500, taken);
+            bool p = ref.predict(br);
+            ref.update(br, taken);
+            if (iter >= 2 && p != taken)
+                ++mispredicts_after_warmup;
+        }
+    }
+    EXPECT_EQ(mispredicts_after_warmup, 0);
+}
+
+TEST(RefLoop, MatchesOptimizedOnWhileTypeBranch)
+{
+    predictor::LoopPredictor opt;
+    RefLoop ref;
+    // while-type: not-taken n times, then taken once; n drifts.
+    for (int n : {3, 3, 4, 4, 4, 2, 5}) {
+        for (int i = 0; i <= n; ++i) {
+            bool taken = i == n;
+            BranchRecord br = cond(0x700, taken);
+            ASSERT_EQ(ref.predict(br), opt.predict(br))
+                << "n=" << n << " i=" << i;
+            ref.update(br, taken);
+            opt.update(br, taken);
+        }
+    }
+}
+
+TEST(RefFixedPattern, ReplaysOutcomeFromKAgo)
+{
+    RefFixedPattern ref(3);
+    const bool pattern[] = {true, false, false};
+    BranchRecord br = cond(0x900, true);
+    // Cold default: taken until 3 outcomes recorded.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(ref.predict(br));
+        ref.update(br, pattern[i % 3]);
+    }
+    // Warm: perfect on the period-3 pattern.
+    for (int i = 3; i < 60; ++i) {
+        EXPECT_EQ(ref.predict(br), pattern[i % 3]) << "i=" << i;
+        ref.update(br, pattern[i % 3]);
+    }
+}
+
+TEST(RefHybrid, ChooserMovesTowardTheCorrectComponent)
+{
+    // Component A: always-taken-ish (gshare trained taken); component
+    // B: cold (predicts not-taken). On an always-taken branch the
+    // chooser must converge to A and the hybrid must predict taken.
+    auto make = [] {
+        return RefHybrid(
+            std::make_unique<RefTwoLevel>(TwoLevelConfig::gshare(4)),
+            std::make_unique<RefTwoLevel>(TwoLevelConfig::pas(4, 3, 2)),
+            4);
+    };
+    RefHybrid hybrid = make();
+    BranchRecord br = cond(0xa00, true);
+    for (int i = 0; i < 50; ++i) {
+        hybrid.predict(br);
+        hybrid.update(br, true);
+    }
+    EXPECT_TRUE(hybrid.predict(br));
+}
+
+TEST(RefModels, ResetRestoresColdState)
+{
+    RefTwoLevel two(TwoLevelConfig::gshare(6));
+    RefBimodal bim(4);
+    RefLoop loop;
+    RefFixedPattern fixed(2);
+    BranchRecord br = cond(0x40, true);
+    const std::vector<predictor::Predictor *> all = {&two, &bim, &loop,
+                                                     &fixed};
+    for (int i = 0; i < 30; ++i) {
+        for (predictor::Predictor *p : all) {
+            p->predict(br);
+            p->update(br, true);
+        }
+    }
+    two.reset();
+    bim.reset();
+    loop.reset();
+    fixed.reset();
+    EXPECT_FALSE(two.predict(br));
+    EXPECT_FALSE(bim.predict(br));
+    EXPECT_TRUE(loop.predict(br));  // cold loop default: taken
+    EXPECT_TRUE(fixed.predict(br)); // cold fixed default: taken
+}
+
+} // namespace
+} // namespace copra::check

@@ -1,0 +1,51 @@
+# Golden-snapshot driver, invoked by ctest as
+#   cmake -DBINARY=<bench exe> -DARGS=<semicolon list> -DGOLDEN=<snapshot>
+#         -DOUT=<capture path> -DUPDATE=<update script> -P run_golden.cmake
+#
+# Runs the bench binary with canonical deterministic arguments, captures
+# stdout only (timing lines go to stderr by design), and requires the
+# capture to be byte-identical to the checked-in snapshot.
+
+foreach(var BINARY ARGS GOLDEN OUT UPDATE)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: missing -D${var}=")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BINARY} ${ARGS}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE run_rc
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "golden: ${BINARY} exited with ${run_rc}\n${run_err}")
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+    message(FATAL_ERROR
+        "golden: snapshot ${GOLDEN} does not exist.\n"
+        "Fresh output is at ${OUT}.\n"
+        "If this bench is newly golden-tracked, run: ${UPDATE}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    find_program(DIFF_TOOL diff)
+    if(DIFF_TOOL)
+        execute_process(
+            COMMAND ${DIFF_TOOL} -u ${GOLDEN} ${OUT}
+            OUTPUT_VARIABLE diff_text
+            RESULT_VARIABLE ignored)
+    else()
+        set(diff_text "(no diff tool found; compare the files by hand)")
+    endif()
+    message(FATAL_ERROR
+        "golden: output of ${BINARY} diverged from ${GOLDEN}\n"
+        "${diff_text}\n"
+        "If the change is intentional, refresh snapshots with:\n"
+        "  ${UPDATE} <build-dir>\n"
+        "and commit the updated files under tests/golden/.")
+endif()

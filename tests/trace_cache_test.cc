@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "check/fuzz.hpp"
 #include "core/experiments.hpp"
 #include "trace/trace_cache.hpp"
 #include "trace/trace_io.hpp"
@@ -124,6 +126,95 @@ TEST_F(TraceCacheTest, CorruptEntryIsDroppedAndRegenerated)
     EXPECT_EQ(generations, 1);
     EXPECT_EQ(regenerated.size(), 4u);
     EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(TraceCacheTest, MalformedHeaderVariantsAreDroppedAndDeleted)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+
+    // Each mutation damages a different header field; every one must be
+    // treated as a miss AND remove the bad file, not just truncations.
+    struct Variant
+    {
+        const char *what;
+        void (*mutate)(std::string &);
+    };
+    const Variant variants[] = {
+        {"bad magic byte",
+         [](std::string &b) { b[3] ^= 0x20; }},
+        {"implausible name length",
+         [](std::string &b) {
+             // name_len field lives at offset 20..23 (little-endian).
+             b[20] = b[21] = b[22] = b[23] = char(0xff);
+         }},
+        {"inflated record count",
+         [](std::string &b) {
+             // count is the u64 right after the 6-byte name "sample".
+             b[24 + 6 + 7] = char(0x7f);
+         }},
+        {"poisoned record kind",
+         [](std::string &b) {
+             // First record's kind byte: header(24) + name(6) +
+             // count(8) + pc(8) + target(8).
+             b[24 + 6 + 8 + 16] = char(0x3f);
+         }},
+    };
+
+    for (const Variant &variant : variants) {
+        ASSERT_TRUE(cache.store(key, sampleTrace("sample", 1)));
+        std::string path = cache.pathFor(key);
+        std::string bytes;
+        {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream slurp;
+            slurp << in.rdbuf();
+            bytes = slurp.str();
+        }
+        variant.mutate(bytes);
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        EXPECT_FALSE(cache.load(key).has_value()) << variant.what;
+        EXPECT_FALSE(fs::exists(path))
+            << variant.what << ": malformed entry must be deleted";
+    }
+}
+
+TEST_F(TraceCacheTest, FuzzedCorruptionsNeverYieldMislabeledTraces)
+{
+    TraceCache cache(dir_.string());
+    TraceCacheKey key{"sample", 4, 1};
+    Trace original = sampleTrace("sample", 1);
+    std::string clean;
+    {
+        std::ostringstream os;
+        writeBinary(original, os);
+        clean = os.str();
+    }
+
+    // Whatever the mutation does, load() must either miss (deleting the
+    // bad entry) or hand back a trace still labeled for this key — a
+    // silently mislabeled or torn result is the one forbidden outcome.
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        std::string corrupted = check::corruptBytes(clean, seed);
+        std::string path = cache.pathFor(key);
+        fs::create_directories(dir_);
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out.write(corrupted.data(),
+                      static_cast<std::streamsize>(corrupted.size()));
+        }
+        auto loaded = cache.load(key);
+        if (loaded.has_value()) {
+            EXPECT_EQ(loaded->name(), "sample") << "seed " << seed;
+        } else {
+            EXPECT_FALSE(fs::exists(path))
+                << "seed " << seed << ": dropped entry must be deleted";
+        }
+    }
 }
 
 TEST_F(TraceCacheTest, VersionMismatchIsTreatedAsMiss)
