@@ -41,6 +41,7 @@ loopClassAccuracy(const copra::trace::Trace &trace,
 
     uint64_t execs = 0;
     uint64_t correct = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, res] : classifier.branches()) {
         if (res.cls != copra::core::PaClass::Loop)
             continue;

@@ -19,10 +19,10 @@
  * compare against.
  */
 
-#ifndef COPRA_BENCH_BENCH_COMMON_HPP
-#define COPRA_BENCH_BENCH_COMMON_HPP
+#pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -244,4 +244,3 @@ reportTiming(const char *artifact, const BenchOptions &opts,
 
 } // namespace copra::bench
 
-#endif // COPRA_BENCH_BENCH_COMMON_HPP

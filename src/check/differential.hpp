@@ -19,8 +19,7 @@
  * than no harness, so the injected bugs run under ctest too.
  */
 
-#ifndef COPRA_CHECK_DIFFERENTIAL_HPP
-#define COPRA_CHECK_DIFFERENTIAL_HPP
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -167,4 +166,3 @@ CheckPair injectedBugPair(InjectedBug bug);
 
 } // namespace copra::check
 
-#endif // COPRA_CHECK_DIFFERENTIAL_HPP

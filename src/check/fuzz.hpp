@@ -20,8 +20,7 @@
  * trace_io / trace_cache robustness fuzzing.
  */
 
-#ifndef COPRA_CHECK_FUZZ_HPP
-#define COPRA_CHECK_FUZZ_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -76,4 +75,3 @@ std::string corruptBytes(const std::string &bytes, uint64_t seed);
 
 } // namespace copra::check
 
-#endif // COPRA_CHECK_FUZZ_HPP

@@ -21,12 +21,13 @@
  * this subsystem exists to create.
  */
 
-#ifndef COPRA_CHECK_REF_MODELS_HPP
-#define COPRA_CHECK_REF_MODELS_HPP
+#pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "predictor/predictor.hpp"
 #include "predictor/two_level.hpp"
@@ -173,4 +174,3 @@ class RefHybrid : public predictor::Predictor
 
 } // namespace copra::check
 
-#endif // COPRA_CHECK_REF_MODELS_HPP

@@ -6,8 +6,7 @@
  * difference distribution between two predictors (Fig. 9).
  */
 
-#ifndef COPRA_CORE_BEST_OF_HPP
-#define COPRA_CORE_BEST_OF_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -71,4 +70,3 @@ sim::Ledger maxLedger(const sim::Ledger &a, const sim::Ledger &b);
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_BEST_OF_HPP

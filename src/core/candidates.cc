@@ -108,6 +108,7 @@ CandidateMiner::topCandidates(uint64_t pc, unsigned k) const
     const BranchCandidates &bc = it->second;
 
     scored.reserve(bc.tags.size());
+    // copra-lint: allow(unordered-iter) -- collected then sorted with a deterministic tie-break
     for (const auto &[tag, contingency] : bc.tags)
         scored.push_back({tag, informationGain(bc, contingency)});
 

@@ -7,8 +7,7 @@
  * carries about X's direction.
  */
 
-#ifndef COPRA_CORE_CANDIDATES_HPP
-#define COPRA_CORE_CANDIDATES_HPP
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -109,4 +108,3 @@ class CandidateMiner
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_CANDIDATES_HPP

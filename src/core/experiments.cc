@@ -12,6 +12,9 @@ namespace copra::core {
 
 namespace {
 
+// Timing-only code: phase durations go to stderr/bench_results.json,
+// never into simulation results or stdout (DESIGN.md §7).
+// copra-lint: allow(banned-api) -- wall-clock phase timing, not simulation-visible
 using Clock = std::chrono::steady_clock;
 
 /** Adds the elapsed lifetime of the guard to a PhaseTimes field. */

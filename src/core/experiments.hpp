@@ -6,10 +6,10 @@
  * The bench binaries are thin wrappers over this layer.
  */
 
-#ifndef COPRA_CORE_EXPERIMENTS_HPP
-#define COPRA_CORE_EXPERIMENTS_HPP
+#pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -209,4 +209,3 @@ trace::Trace makeExperimentTrace(const std::string &name,
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_EXPERIMENTS_HPP

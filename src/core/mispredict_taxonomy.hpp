@@ -19,8 +19,7 @@
  *    (intrinsically unpredictable residue).
  */
 
-#ifndef COPRA_CORE_MISPREDICT_TAXONOMY_HPP
-#define COPRA_CORE_MISPREDICT_TAXONOMY_HPP
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -90,4 +89,3 @@ MispredictBreakdown classifyMispredicts(const trace::Trace &trace,
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_MISPREDICT_TAXONOMY_HPP

@@ -222,6 +222,7 @@ SelectiveOracle::select()
     // not depend on completion order.
     std::vector<std::pair<const BranchData *, BranchSelection *>> work;
     work.reserve(branches_.size());
+    // copra-lint: allow(unordered-iter) -- builds a keyed work list; aggregates re-iterate the map afterwards
     for (auto &[pc, sel] : branches_)
         work.emplace_back(&data_.at(pc), &sel);
 
@@ -248,6 +249,7 @@ SelectiveOracle::accuracyPercent(unsigned size) const
             "selective size out of range");
     uint64_t execs = 0;
     uint64_t correct = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, sel] : branches_) {
         execs += sel.execs;
         correct += sel.correct[size - 1];
@@ -264,6 +266,7 @@ SelectiveOracle::toLedger(unsigned size) const
     panicIf(size == 0 || size > config_.maxSelect,
             "selective size out of range");
     sim::Ledger ledger;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, sel] : branches_)
         ledger.setTally(pc, sel.execs, sel.correct[size - 1], sel.taken);
     return ledger;
@@ -275,6 +278,7 @@ SelectiveOracle::selectionMap(unsigned size) const
     panicIf(size == 0 || size > config_.maxSelect,
             "selective size out of range");
     std::unordered_map<uint64_t, std::vector<Tag>> out;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, sel] : branches_) {
         const auto &tags = sel.chosen[size - 1];
         if (!tags.empty())

@@ -21,8 +21,7 @@
  * oracle; an exhaustive subset search is available for ablation.
  */
 
-#ifndef COPRA_CORE_ORACLE_HPP
-#define COPRA_CORE_ORACLE_HPP
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -160,4 +159,3 @@ class SelectiveOracle
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_ORACLE_HPP

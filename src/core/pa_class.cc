@@ -56,6 +56,7 @@ PaClassifier::PaClassifier(const trace::Trace &trace, unsigned ifpas_history)
         fixed.observe(rec.pc, rec.taken);
     }
 
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (auto &[pc, res] : table_) {
         res.fixedCorrect = fixed.bestCorrect(pc);
         res.bestFixedK = fixed.bestK(pc);
@@ -89,6 +90,7 @@ PaClassifier::classFractions() const
 {
     std::array<uint64_t, 4> execs{};
     uint64_t total = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, res] : table_) {
         execs[static_cast<size_t>(res.cls)] += res.execs;
         total += res.execs;
@@ -107,6 +109,7 @@ PaClassifier::staticBucketBiasFraction(double threshold) const
 {
     uint64_t bucket = 0;
     uint64_t biased = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, res] : table_) {
         if (res.cls != PaClass::IdealStatic)
             continue;
@@ -125,6 +128,7 @@ sim::Ledger
 PaClassifier::loopLedger() const
 {
     sim::Ledger ledger;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, res] : table_)
         ledger.setTally(pc, res.execs, res.loopCorrect, res.taken);
     return ledger;
@@ -134,6 +138,7 @@ sim::Ledger
 PaClassifier::ifPasLedger() const
 {
     sim::Ledger ledger;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, res] : table_)
         ledger.setTally(pc, res.execs, res.ifPasCorrect, res.taken);
     return ledger;
@@ -143,6 +148,7 @@ sim::Ledger
 PaClassifier::bestPaLedger() const
 {
     sim::Ledger ledger;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, res] : table_)
         ledger.setTally(pc, res.execs, res.bestDynamicCorrect(), res.taken);
     return ledger;
@@ -153,6 +159,7 @@ PaClassifier::loopEnhancedAccuracyPercent(const sim::Ledger &base) const
 {
     uint64_t total = 0;
     uint64_t correct = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, res] : table_) {
         sim::BranchTally tally = base.branch(pc);
         panicIf(tally.execs != res.execs,

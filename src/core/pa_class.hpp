@@ -10,8 +10,7 @@
  * predictor matches or beats belong to no class (paper Fig. 6).
  */
 
-#ifndef COPRA_CORE_PA_CLASS_HPP
-#define COPRA_CORE_PA_CLASS_HPP
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -134,4 +133,3 @@ class PaClassifier
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_PA_CLASS_HPP

@@ -51,6 +51,7 @@ SelectivePredictor::SelectivePredictor(
     unsigned depth)
     : selections_(std::move(selections)), depth_(depth), window_(depth)
 {
+    // copra-lint: allow(unordered-iter) -- validation-only pass; order cannot affect results
     for (const auto &[pc, tags] : selections_) {
         panicIf(tags.empty() || tags.size() > 8,
                 "selective predictor selections must have 1..8 tags");

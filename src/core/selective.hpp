@@ -11,10 +11,11 @@
  * updated exactly like a global two-level predictor.
  */
 
-#ifndef COPRA_CORE_SELECTIVE_HPP
-#define COPRA_CORE_SELECTIVE_HPP
+#pragma once
 
 #include <array>
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -110,4 +111,3 @@ class SelectivePredictor : public predictor::Predictor
 
 } // namespace copra::core
 
-#endif // COPRA_CORE_SELECTIVE_HPP

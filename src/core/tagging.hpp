@@ -18,8 +18,7 @@
  * candidates, exactly as in the paper.
  */
 
-#ifndef COPRA_CORE_TAGGING_HPP
-#define COPRA_CORE_TAGGING_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -142,4 +141,3 @@ struct std::hash<copra::core::Tag>
     }
 };
 
-#endif // COPRA_CORE_TAGGING_HPP

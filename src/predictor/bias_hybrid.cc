@@ -33,6 +33,7 @@ BiasClassifyingHybrid::profileTrace(const trace::Trace &trace,
     }
     std::unordered_map<uint64_t, BiasProfile> profile;
     profile.reserve(counts.size());
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, c] : counts) {
         BiasProfile entry;
         entry.majority = 2 * c.taken >= c.total;
@@ -97,6 +98,7 @@ size_t
 BiasClassifyingHybrid::stronglyBiasedBranches() const
 {
     size_t n = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, e] : profile_)
         if (e.strongly)
             ++n;

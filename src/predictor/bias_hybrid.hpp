@@ -8,9 +8,10 @@
  * the dynamic branch stream is at least as predictable statically.
  */
 
-#ifndef COPRA_PREDICTOR_BIAS_HYBRID_HPP
-#define COPRA_PREDICTOR_BIAS_HYBRID_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
@@ -67,4 +68,3 @@ class BiasClassifyingHybrid : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_BIAS_HYBRID_HPP

@@ -4,9 +4,10 @@
  * indexed by branch address.
  */
 
-#ifndef COPRA_PREDICTOR_BIMODAL_HPP
-#define COPRA_PREDICTOR_BIMODAL_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
@@ -42,4 +43,3 @@ class Bimodal : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_BIMODAL_HPP

@@ -10,8 +10,10 @@
  * (n < 256, m < 256).
  */
 
-#ifndef COPRA_PREDICTOR_BLOCK_PATTERN_HPP
-#define COPRA_PREDICTOR_BLOCK_PATTERN_HPP
+#pragma once
+
+#include <cstdint>
+#include <string>
 
 #include "predictor/btb.hpp"
 #include "predictor/predictor.hpp"
@@ -58,4 +60,3 @@ class BlockPatternPredictor : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_BLOCK_PATTERN_HPP

@@ -10,8 +10,7 @@
  * implementation would see (bench/ablation_btb).
  */
 
-#ifndef COPRA_PREDICTOR_BTB_HPP
-#define COPRA_PREDICTOR_BTB_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -174,4 +173,3 @@ class BtbTable
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_BTB_HPP

@@ -4,6 +4,7 @@
 
 #include "predictor/bimodal.hpp"
 #include "predictor/block_pattern.hpp"
+#include "predictor/contracts.hpp"
 #include "predictor/fixed_pattern.hpp"
 #include "predictor/gskewed.hpp"
 #include "predictor/hybrid.hpp"

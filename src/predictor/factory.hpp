@@ -8,8 +8,7 @@
  *   so the inner specs may themselves carry parameters via '.').
  */
 
-#ifndef COPRA_PREDICTOR_FACTORY_HPP
-#define COPRA_PREDICTOR_FACTORY_HPP
+#pragma once
 
 #include <string>
 #include <vector>
@@ -29,4 +28,3 @@ std::vector<std::string> knownPredictors();
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_FACTORY_HPP

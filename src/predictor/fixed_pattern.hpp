@@ -9,10 +9,11 @@
  * FixedPatternBank runs all 32 in one pass for the classification engine.
  */
 
-#ifndef COPRA_PREDICTOR_FIXED_PATTERN_HPP
-#define COPRA_PREDICTOR_FIXED_PATTERN_HPP
+#pragma once
 
 #include <array>
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
@@ -106,4 +107,3 @@ class FixedPatternBank
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_FIXED_PATTERN_HPP

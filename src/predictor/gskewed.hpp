@@ -10,10 +10,11 @@
  * trading capacity for conflict resilience.
  */
 
-#ifndef COPRA_PREDICTOR_GSKEWED_HPP
-#define COPRA_PREDICTOR_GSKEWED_HPP
+#pragma once
 
 #include <array>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
@@ -54,4 +55,3 @@ class GSkewed : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_GSKEWED_HPP

@@ -6,9 +6,10 @@
  * trust; both components always train.
  */
 
-#ifndef COPRA_PREDICTOR_HYBRID_HPP
-#define COPRA_PREDICTOR_HYBRID_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
@@ -60,4 +61,3 @@ class Hybrid : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_HYBRID_HPP

@@ -26,6 +26,7 @@ IdealStatic::fromTrace(const trace::Trace &trace)
     }
     std::unordered_map<uint64_t, bool> majority;
     majority.reserve(counts.size());
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
     for (const auto &[pc, c] : counts)
         majority[pc] = 2 * c.taken >= c.total;
     return IdealStatic(std::move(majority));

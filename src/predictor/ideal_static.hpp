@@ -8,9 +8,10 @@
  * completed trace (or any per-branch taken/not-taken profile).
  */
 
-#ifndef COPRA_PREDICTOR_IDEAL_STATIC_HPP
-#define COPRA_PREDICTOR_IDEAL_STATIC_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
@@ -42,4 +43,3 @@ class IdealStatic : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_IDEAL_STATIC_HPP

@@ -7,9 +7,10 @@
  * training effects, which is exactly how the paper uses them.
  */
 
-#ifndef COPRA_PREDICTOR_INTERFERENCE_FREE_HPP
-#define COPRA_PREDICTOR_INTERFERENCE_FREE_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
@@ -74,4 +75,3 @@ class IfPas : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_INTERFERENCE_FREE_HPP

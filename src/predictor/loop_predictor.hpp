@@ -13,8 +13,10 @@
  * Run lengths saturate at 255 (the paper assumes n < 256).
  */
 
-#ifndef COPRA_PREDICTOR_LOOP_PREDICTOR_HPP
-#define COPRA_PREDICTOR_LOOP_PREDICTOR_HPP
+#pragma once
+
+#include <cstdint>
+#include <string>
 
 #include "predictor/btb.hpp"
 #include "predictor/predictor.hpp"
@@ -59,4 +61,3 @@ class LoopPredictor : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_LOOP_PREDICTOR_HPP

@@ -7,9 +7,10 @@
  * its own direction is uninformative (paper Fig. 2).
  */
 
-#ifndef COPRA_PREDICTOR_PATH_BASED_HPP
-#define COPRA_PREDICTOR_PATH_BASED_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
@@ -51,4 +52,3 @@ class PathBased : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_PATH_BASED_HPP

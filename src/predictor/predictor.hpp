@@ -8,8 +8,7 @@
  * and the analysis passes are predictor-agnostic.
  */
 
-#ifndef COPRA_PREDICTOR_PREDICTOR_HPP
-#define COPRA_PREDICTOR_PREDICTOR_HPP
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -101,4 +100,3 @@ using PredictorPtr = std::unique_ptr<Predictor>;
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_PREDICTOR_HPP

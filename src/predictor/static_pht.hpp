@@ -13,9 +13,10 @@
  * because it never pays training or hysteresis costs.
  */
 
-#ifndef COPRA_PREDICTOR_STATIC_PHT_HPP
-#define COPRA_PREDICTOR_STATIC_PHT_HPP
+#pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "predictor/two_level.hpp"
@@ -59,4 +60,3 @@ class StaticPhtTwoLevel : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_STATIC_PHT_HPP

@@ -5,8 +5,9 @@
  * predictor lives in predictor/ideal_static.hpp.
  */
 
-#ifndef COPRA_PREDICTOR_STATIC_PRED_HPP
-#define COPRA_PREDICTOR_STATIC_PRED_HPP
+#pragma once
+
+#include <string>
 
 #include "predictor/predictor.hpp"
 
@@ -51,4 +52,3 @@ class Btfnt : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_STATIC_PRED_HPP

@@ -10,9 +10,11 @@
  * history XORed with the address (gshare).
  */
 
-#ifndef COPRA_PREDICTOR_TWO_LEVEL_HPP
-#define COPRA_PREDICTOR_TWO_LEVEL_HPP
+#pragma once
 
+#include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
@@ -123,4 +125,3 @@ class TwoLevel : public Predictor
 
 } // namespace copra::predictor
 
-#endif // COPRA_PREDICTOR_TWO_LEVEL_HPP

@@ -6,9 +6,9 @@
  * through (they exist for path/backward bookkeeping in the analyses).
  */
 
-#ifndef COPRA_SIM_DRIVER_HPP
-#define COPRA_SIM_DRIVER_HPP
+#pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -81,4 +81,3 @@ std::vector<RunResult> runAllParallel(
 
 } // namespace copra::sim
 
-#endif // COPRA_SIM_DRIVER_HPP

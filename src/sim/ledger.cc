@@ -10,6 +10,7 @@ uint64_t
 Ledger::dynamic_helper() const
 {
     uint64_t total = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, tally] : table_)
         total += tally.execs;
     return total;
@@ -19,6 +20,7 @@ uint64_t
 Ledger::correct() const
 {
     uint64_t total = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, tally] : table_)
         total += tally.correct;
     return total;
@@ -46,6 +48,7 @@ bestOfAccuracyPercent(const Ledger &a, const Ledger &b)
 {
     uint64_t total = 0;
     uint64_t correct = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, ta] : a.table()) {
         BranchTally tb = b.branch(pc);
         panicIf(tb.execs != ta.execs,

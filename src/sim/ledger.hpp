@@ -7,8 +7,7 @@
  * curves).
  */
 
-#ifndef COPRA_SIM_LEDGER_HPP
-#define COPRA_SIM_LEDGER_HPP
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -96,4 +95,3 @@ double bestOfAccuracyPercent(const Ledger &a, const Ledger &b);
 
 } // namespace copra::sim
 
-#endif // COPRA_SIM_LEDGER_HPP

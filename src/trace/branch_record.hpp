@@ -6,8 +6,7 @@
  * everything in copra consumes streams of BranchRecord.
  */
 
-#ifndef COPRA_TRACE_BRANCH_RECORD_HPP
-#define COPRA_TRACE_BRANCH_RECORD_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -57,4 +56,3 @@ const char *branchKindName(BranchKind kind);
 
 } // namespace copra::trace
 
-#endif // COPRA_TRACE_BRANCH_RECORD_HPP

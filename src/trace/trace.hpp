@@ -3,8 +3,7 @@
  * In-memory branch trace container.
  */
 
-#ifndef COPRA_TRACE_TRACE_HPP
-#define COPRA_TRACE_TRACE_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -85,4 +84,3 @@ class Trace
 
 } // namespace copra::trace
 
-#endif // COPRA_TRACE_TRACE_HPP

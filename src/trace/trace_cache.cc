@@ -1,12 +1,12 @@
 #include "trace/trace_cache.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 
 #include "trace/trace_io.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace copra::trace {
@@ -34,10 +34,8 @@ TraceCacheKey::fileName() const
 TraceCache::TraceCache(std::string dir)
     : dir_(std::move(dir))
 {
-    if (dir_.empty()) {
-        const char *env = std::getenv("COPRA_CACHE_DIR");
-        dir_ = (env && env[0] != '\0') ? env : ".copra-cache";
-    }
+    if (dir_.empty())
+        dir_ = util::envString("COPRA_CACHE_DIR", ".copra-cache");
 }
 
 std::string
@@ -82,6 +80,7 @@ TraceCache::store(const TraceCacheKey &key, const Trace &trace) const
 
     // Unique temp name per store, then an atomic rename: readers only
     // ever see complete entries, even with concurrent writers.
+    // copra-lint: sanctioned-global(temp-file name uniquifier; names never reach results)
     static std::atomic<uint64_t> counter{0};
     std::string tmp = pathFor(key) + ".tmp" +
         std::to_string(counter.fetch_add(1));
@@ -114,6 +113,9 @@ TraceCache::loadOrGenerate(const TraceCacheKey &key,
 
 namespace {
 
+// Cache config toggled once by CLI parsing before any simulation runs;
+// caching only short-circuits regeneration of byte-identical traces.
+// copra-lint: sanctioned-global(process-wide trace-cache on/off switch)
 std::atomic<bool> g_cache_enabled{false};
 
 } // namespace

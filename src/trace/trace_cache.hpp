@@ -17,8 +17,7 @@
  * parallel bench tasks — can never expose a half-written trace.
  */
 
-#ifndef COPRA_TRACE_TRACE_CACHE_HPP
-#define COPRA_TRACE_TRACE_CACHE_HPP
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -97,4 +96,3 @@ const TraceCache &globalTraceCache();
 
 } // namespace copra::trace
 
-#endif // COPRA_TRACE_TRACE_CACHE_HPP

@@ -4,9 +4,9 @@
  * line-oriented text format for inspection and hand-written test inputs.
  */
 
-#ifndef COPRA_TRACE_TRACE_IO_HPP
-#define COPRA_TRACE_TRACE_IO_HPP
+#pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -62,4 +62,3 @@ Trace readText(std::istream &is);
 
 } // namespace copra::trace
 
-#endif // COPRA_TRACE_TRACE_IO_HPP

@@ -36,6 +36,7 @@ TraceStats::dynamicFractionWithBiasAbove(double threshold) const
     if (dynamic_ == 0)
         return 0.0;
     uint64_t covered = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, stats] : perBranch_)
         if (stats.bias() > threshold)
             covered += stats.execs;
@@ -46,6 +47,7 @@ uint64_t
 TraceStats::idealStaticCorrect() const
 {
     uint64_t correct = 0;
+    // copra-lint: allow(unordered-iter) -- commutative integer aggregation; result is order-independent
     for (const auto &[pc, stats] : perBranch_)
         correct += stats.idealStaticCorrect();
     return correct;
@@ -56,6 +58,7 @@ TraceStats::hottest(size_t n) const
 {
     std::vector<StaticBranchStats> all;
     all.reserve(perBranch_.size());
+    // copra-lint: allow(unordered-iter) -- collected then sorted with a deterministic tie-break
     for (const auto &[pc, stats] : perBranch_)
         all.push_back(stats);
     std::sort(all.begin(), all.end(),

@@ -6,8 +6,7 @@
  * sections 4.2 and 5.1.
  */
 
-#ifndef COPRA_TRACE_TRACE_STATS_HPP
-#define COPRA_TRACE_TRACE_STATS_HPP
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -104,4 +103,3 @@ class TraceStats
 
 } // namespace copra::trace
 
-#endif // COPRA_TRACE_TRACE_STATS_HPP

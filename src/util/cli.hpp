@@ -5,8 +5,7 @@
  * generates --help text, and rejects unknown options.
  */
 
-#ifndef COPRA_UTIL_CLI_HPP
-#define COPRA_UTIL_CLI_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -73,4 +72,3 @@ class OptionParser
 
 } // namespace copra
 
-#endif // COPRA_UTIL_CLI_HPP

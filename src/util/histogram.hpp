@@ -4,8 +4,7 @@
  * harnesses (notably the gshare-vs-PAs percentile plot, paper Fig. 9).
  */
 
-#ifndef COPRA_UTIL_HISTOGRAM_HPP
-#define COPRA_UTIL_HISTOGRAM_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -91,4 +90,3 @@ class WeightedPercentiles
 
 } // namespace copra
 
-#endif // COPRA_UTIL_HISTOGRAM_HPP

@@ -6,8 +6,7 @@
  * inform() for status messages that do not stop the run.
  */
 
-#ifndef COPRA_UTIL_LOGGING_HPP
-#define COPRA_UTIL_LOGGING_HPP
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,4 +68,3 @@ fatalIf(bool cond, const std::string &msg)
 
 } // namespace copra
 
-#endif // COPRA_UTIL_LOGGING_HPP

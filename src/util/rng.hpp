@@ -8,8 +8,7 @@
  * distributions.
  */
 
-#ifndef COPRA_UTIL_RNG_HPP
-#define COPRA_UTIL_RNG_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -128,4 +127,3 @@ class Rng
 
 } // namespace copra
 
-#endif // COPRA_UTIL_RNG_HPP

@@ -4,8 +4,7 @@
  * history table in this library (Smith, 1981).
  */
 
-#ifndef COPRA_UTIL_SAT_COUNTER_HPP
-#define COPRA_UTIL_SAT_COUNTER_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -124,4 +123,3 @@ struct Counter2
 
 } // namespace copra
 
-#endif // COPRA_UTIL_SAT_COUNTER_HPP

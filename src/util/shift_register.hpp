@@ -4,8 +4,7 @@
  * adaptive branch predictor (Yeh & Patt, 1991).
  */
 
-#ifndef COPRA_UTIL_SHIFT_REGISTER_HPP
-#define COPRA_UTIL_SHIFT_REGISTER_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -115,4 +114,3 @@ class PathRegister
 
 } // namespace copra
 
-#endif // COPRA_UTIL_SHIFT_REGISTER_HPP

@@ -5,9 +5,9 @@
  * keeps their formatting uniform.
  */
 
-#ifndef COPRA_UTIL_TABLE_HPP
-#define COPRA_UTIL_TABLE_HPP
+#pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -62,4 +62,3 @@ std::string formatPercent(uint64_t numerator, uint64_t denominator,
 
 } // namespace copra
 
-#endif // COPRA_UTIL_TABLE_HPP

@@ -8,12 +8,14 @@
 #include <memory>
 #include <string>
 
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace copra {
 
 namespace {
 
+// copra-lint: sanctioned-global(per-thread marker so nested runAllParallel calls degrade to inline execution; never crosses threads)
 thread_local bool t_on_worker_thread = false;
 
 } // namespace
@@ -103,7 +105,7 @@ ThreadPool::inOwningProcess() const
 unsigned
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("COPRA_THREADS")) {
+    if (const char *env = util::envRaw("COPRA_THREADS")) {
         char *end = nullptr;
         long parsed = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && parsed > 0)
@@ -118,8 +120,14 @@ defaultThreadCount()
 
 namespace {
 
+// The process-wide pool singleton (DESIGN.md §7): simulation results
+// never flow through it, only work items, so it cannot break
+// determinism; it exists exactly once so fork handlers can find it.
+// copra-lint: sanctioned-global(thread-pool singleton registry mutex)
 std::mutex g_pool_mutex;
+// copra-lint: sanctioned-global(the thread-pool singleton itself)
 std::unique_ptr<ThreadPool> g_pool;
+// copra-lint: sanctioned-global(one-shot pthread_atfork registration)
 std::once_flag g_atfork_once;
 
 /**

@@ -33,13 +33,13 @@
  * the condvar's copied state still counts as waiters).
  */
 
-#ifndef COPRA_UTIL_THREAD_POOL_HPP
-#define COPRA_UTIL_THREAD_POOL_HPP
+#pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -145,4 +145,3 @@ void parallelFor(ThreadPool &pool, size_t n,
 
 } // namespace copra
 
-#endif // COPRA_UTIL_THREAD_POOL_HPP

@@ -9,8 +9,7 @@
  * live in workload/profiles.hpp.
  */
 
-#ifndef COPRA_WORKLOAD_BUILDER_HPP
-#define COPRA_WORKLOAD_BUILDER_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -117,4 +116,3 @@ Program buildProgram(const BenchmarkProfile &profile);
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_BUILDER_HPP

@@ -11,8 +11,7 @@
  * outcome-generated correlation (paper Fig. 1b).
  */
 
-#ifndef COPRA_WORKLOAD_CONDITION_HPP
-#define COPRA_WORKLOAD_CONDITION_HPP
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -100,4 +99,3 @@ class ConditionSource
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_CONDITION_HPP

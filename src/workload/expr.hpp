@@ -9,8 +9,7 @@
  * (Fig. 2).
  */
 
-#ifndef COPRA_WORKLOAD_EXPR_HPP
-#define COPRA_WORKLOAD_EXPR_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -71,4 +70,3 @@ class Pred
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_EXPR_HPP

@@ -5,8 +5,7 @@
  * canonical form of one of the paper's branch behaviour classes.
  */
 
-#ifndef COPRA_WORKLOAD_PATTERNS_HPP
-#define COPRA_WORKLOAD_PATTERNS_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -70,4 +69,3 @@ trace::Trace interleave(const std::vector<trace::Trace> &traces);
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_PATTERNS_HPP

@@ -10,8 +10,7 @@
  * DESIGN.md §2 for the substitution rationale.
  */
 
-#ifndef COPRA_WORKLOAD_PROFILES_HPP
-#define COPRA_WORKLOAD_PROFILES_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -64,4 +63,3 @@ const PaperReference &paperReference(const std::string &name);
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_PROFILES_HPP

@@ -16,11 +16,11 @@
  *  - Subroutine calls: call-site-dependent (in-path) behaviour.
  */
 
-#ifndef COPRA_WORKLOAD_PROGRAM_HPP
-#define COPRA_WORKLOAD_PROGRAM_HPP
+#pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -340,4 +340,3 @@ class Program
 
 } // namespace copra::workload
 
-#endif // COPRA_WORKLOAD_PROGRAM_HPP

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Deliberately non-conforming predictor, compiled (and expected to
+ * FAIL) by contracts_negative.cmake. Never part of any build target.
+ *
+ * The type below misses the contract on purpose: it does not derive
+ * from Predictor and exposes none of the interface. The test asserts
+ * the build stops AND that the diagnostic contains the human-readable
+ * "copra predictor contract" clause text.
+ */
+
+#include "predictor/contracts.hpp"
+
+namespace copra::predictor {
+
+class DefinitelyNotAPredictor
+{
+  public:
+    int answer() const { return 42; }
+};
+
+} // namespace copra::predictor
+
+static_assert(
+    copra::predictor::contracts::PredictorContract<
+        copra::predictor::DefinitelyNotAPredictor>::ok,
+    "unreachable: the contract must reject this type first");

@@ -1,0 +1,29 @@
+# Proves the predictor contract layer fails the build *readably* when a
+# roster type does not conform: compiles tests/contracts_break.cc with
+# -fsyntax-only, requires a nonzero exit AND the contract clause text in
+# the diagnostics. Driven by ctest as `contracts_negative`.
+#
+# Inputs: -DCXX=<compiler> -DSRC=<repo root>
+
+execute_process(
+    COMMAND ${CXX} -std=c++20 -fsyntax-only -I${SRC}/src
+            ${SRC}/tests/contracts_break.cc
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "contracts_break.cc compiled cleanly; the predictor contract "
+        "layer no longer rejects non-conforming types")
+endif()
+
+string(FIND "${err}${out}" "copra predictor contract" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "compilation failed but without the readable contract message; "
+        "diagnostics were:\n${err}")
+endif()
+
+message(STATUS
+    "contract violation rejected with a readable diagnostic, as designed")

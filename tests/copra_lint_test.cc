@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the copra_lint rule engine: each rule driven on
+ * in-memory sources through its firing, suppressed, and clean cases,
+ * plus the end-to-end self-test over the planted corpus and a
+ * clean-tree run against the real repository (rooted at the configured
+ * COPRA_LINT_REPO_ROOT).
+ *
+ * Lint directives appear below only inside string literals; the
+ * linter's lexer skips strings, so this file cannot trip the very
+ * rules it exercises when the tree gate walks tests/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "copra_lint/lint.hpp"
+
+namespace {
+
+using copra::lint::Annotation;
+using copra::lint::FileScan;
+using copra::lint::Finding;
+using copra::lint::scanSource;
+using copra::lint::runRules;
+
+std::vector<Finding>
+run(const std::string &rel, const std::string &src)
+{
+    return runRules(scanSource(rel, src), {});
+}
+
+int
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    int n = 0;
+    for (const Finding &f : findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+TEST(Lexer, StripsCommentsStringsAndPreprocessor)
+{
+    FileScan scan = scanSource("src/sim/x.cc",
+        "#include <vector>\n"
+        "// a comment with rand() inside\n"
+        "/* block with time(0) */\n"
+        "const char *s = \"rand()\";\n"
+        "int n = 0;\n");
+    for (const auto &tok : scan.tokens) {
+        EXPECT_NE(tok.text, "rand");
+        EXPECT_NE(tok.text, "time");
+    }
+    EXPECT_EQ(scan.includes.count("vector"), 1u);
+    ASSERT_GE(scan.tokens.size(), 5u);
+    EXPECT_EQ(scan.tokens.back().text, ";");
+}
+
+TEST(Lexer, ParsesAllowAndSanctionedDirectives)
+{
+    FileScan scan = scanSource("src/sim/x.cc",
+        "// copra-lint: allow(banned-api) -- phase timing only\n"
+        "// copra-lint: sanctioned-global(lazy singleton)\n");
+    ASSERT_EQ(scan.annotations.size(), 2u);
+    EXPECT_EQ(scan.annotations[0].kind, Annotation::Kind::Allow);
+    EXPECT_EQ(scan.annotations[0].rule, "banned-api");
+    EXPECT_EQ(scan.annotations[0].reason, "phase timing only");
+    EXPECT_EQ(scan.annotations[1].kind,
+              Annotation::Kind::SanctionedGlobal);
+    EXPECT_EQ(scan.annotations[1].reason, "lazy singleton");
+}
+
+TEST(Lexer, ParsesDirectiveTrailingAPreprocessorLine)
+{
+    FileScan scan = scanSource("src/sim/x.hpp",
+        "#ifndef X_HPP // copra-lint: allow(header-guard) -- vendored\n"
+        "#define X_HPP\n"
+        "#endif\n");
+    EXPECT_EQ(scan.guardLine, 1);
+    ASSERT_EQ(scan.annotations.size(), 1u);
+    EXPECT_EQ(scan.annotations[0].kind, Annotation::Kind::Allow);
+    EXPECT_EQ(scan.annotations[0].line, 1);
+}
+
+TEST(BannedApi, FiresInResultScopeOnly)
+{
+    const std::string src =
+        "int f() { return rand(); }\n"
+        "long g() { return time(nullptr); }\n";
+    EXPECT_EQ(countRule(run("src/sim/x.cc", src), "banned-api"), 2);
+    EXPECT_EQ(countRule(run("src/predictor/x.cc", src), "banned-api"), 2);
+    EXPECT_EQ(countRule(run("src/core/x.cc", src), "banned-api"), 2);
+    EXPECT_EQ(countRule(run("tools/x.cc", src), "banned-api"), 0);
+    EXPECT_EQ(countRule(run("tests/x.cc", src), "banned-api"), 0);
+}
+
+TEST(BannedApi, FlagsClockTypesAndGetenv)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "auto t = std::chrono::steady_clock::now();\n"), "banned-api"),
+        1);
+    // getenv is banned across src/ except the util doorway itself.
+    const std::string env = "const char *e = std::getenv(\"X\");\n";
+    EXPECT_EQ(countRule(run("src/trace/x.cc", env), "banned-api"), 1);
+    EXPECT_EQ(countRule(run("src/util/env.hpp", env), "banned-api"), 0);
+}
+
+TEST(BannedApi, MemberFunctionsNamedLikeBannedCallsAreLegal)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "int f(Timer &w) { return w.time(); }\n"), "banned-api"), 0);
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "int f(Timer *w) { return w->clock(); }\n"), "banned-api"), 0);
+}
+
+TEST(BannedApi, AllowWithReasonSuppresses)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: allow(banned-api) -- timing only\n"
+        "auto t = std::chrono::steady_clock::now();\n"), "banned-api"),
+        0);
+}
+
+TEST(UnorderedIter, FiresOnVariableAndAccessor)
+{
+    const std::string src =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> &table();\n"
+        "int f(const std::unordered_map<int, int> &m) {\n"
+        "    int s = 0;\n"
+        "    for (const auto &kv : m) s += kv.second;\n"
+        "    for (const auto &kv : table()) s += kv.second;\n"
+        "    return s;\n"
+        "}\n";
+    EXPECT_EQ(countRule(run("src/core/x.cc", src), "unordered-iter"), 2);
+    // Outside src/ and bench/ the rule stays quiet.
+    EXPECT_EQ(countRule(run("tools/x.cc", src), "unordered-iter"), 0);
+}
+
+TEST(UnorderedIter, OrderedContainersAreLegal)
+{
+    EXPECT_EQ(countRule(run("src/core/x.cc",
+        "#include <vector>\n"
+        "int f(const std::vector<int> &v) {\n"
+        "    int s = 0;\n"
+        "    for (int x : v) s += x;\n"
+        "    return s;\n"
+        "}\n"), "unordered-iter"), 0);
+}
+
+TEST(UnorderedIter, CrossFileAccessorKnowledgeViaExtraDecls)
+{
+    copra::lint::UnorderedDecls extra;
+    extra.accessors.insert("branches");
+    FileScan scan = scanSource("src/core/x.cc",
+        "int f(const Ledger &l) {\n"
+        "    int s = 0;\n"
+        "    for (const auto &b : l.branches()) s += b.second;\n"
+        "    return s;\n"
+        "}\n");
+    EXPECT_EQ(countRule(runRules(scan, extra), "unordered-iter"), 1);
+    EXPECT_EQ(countRule(runRules(scan, {}), "unordered-iter"), 0);
+}
+
+TEST(MutableGlobal, FiresAtFileScopeAndStaticLocal)
+{
+    auto found = run("src/sim/x.cc",
+        "namespace copra {\n"
+        "int g_count = 0;\n"
+        "int f() { static int hits = 0; return ++hits; }\n"
+        "}\n");
+    EXPECT_EQ(countRule(found, "mutable-global"), 2);
+}
+
+TEST(MutableGlobal, ConstAndFunctionLocalsAreLegal)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "namespace copra {\n"
+        "const int kA = 1;\n"
+        "constexpr int kB = 2;\n"
+        "int f() { int local = 0; return local; }\n"
+        "struct S { int member = 0; };\n"
+        "}\n"), "mutable-global"), 0);
+}
+
+TEST(MutableGlobal, SanctionedGlobalSuppresses)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: sanctioned-global(cache on/off switch)\n"
+        "bool g_enabled = false;\n"), "mutable-global"), 0);
+}
+
+TEST(HeaderGuard, LegacyGuardAndMissingPragmaFire)
+{
+    auto found = run("src/sim/x.hpp",
+        "#ifndef X_HPP\n"
+        "#define X_HPP\n"
+        "#endif\n");
+    EXPECT_EQ(countRule(found, "header-guard"), 2);
+    EXPECT_EQ(countRule(run("src/sim/x.hpp", "#pragma once\n"),
+                        "header-guard"), 0);
+    // Non-headers are out of scope for guard hygiene.
+    EXPECT_EQ(countRule(run("src/sim/x.cc", "#ifndef A\n#endif\n"),
+                        "header-guard"), 0);
+}
+
+TEST(IncludeLite, FiresOncePerMissingHeader)
+{
+    auto found = run("src/sim/x.hpp",
+        "#pragma once\n"
+        "struct S {\n"
+        "    std::vector<int> a;\n"
+        "    std::vector<int> b;\n"
+        "    uint64_t c = 0;\n"
+        "};\n");
+    EXPECT_EQ(countRule(found, "include-lite"), 2);
+    EXPECT_EQ(countRule(run("src/sim/x.hpp",
+        "#pragma once\n"
+        "#include <cstdint>\n"
+        "#include <vector>\n"
+        "struct S { std::vector<uint64_t> a; };\n"), "include-lite"), 0);
+    // Source files may lean on their headers; the rule is headers-only.
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "std::vector<int> v;\n"), "include-lite"), 0);
+}
+
+TEST(Annotation, MalformedDirectivesAreFindings)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: allow(banned-api)\n"), "annotation"), 1);
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: allow(no-such-rule) -- reason\n"), "annotation"),
+        1);
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: frobnicate\n"), "annotation"), 1);
+}
+
+TEST(Annotation, FindingsCannotBeSuppressed)
+{
+    // An allow(annotation) is itself unknown-rule-free but must not
+    // silence the malformed directive right below it.
+    auto found = run("src/sim/x.cc",
+        "// copra-lint: allow(annotation) -- trying to hide\n"
+        "// copra-lint: frobnicate\n");
+    EXPECT_EQ(countRule(found, "annotation"), 1);
+}
+
+TEST(Suppression, CoversOwnLineAndNextOnly)
+{
+    auto found = run("src/sim/x.cc",
+        "// copra-lint: allow(banned-api) -- timing only\n"
+        "int a = rand();\n"
+        "int b = rand();\n");
+    ASSERT_EQ(countRule(found, "banned-api"), 1);
+    EXPECT_EQ(found[0].line, 3);
+}
+
+TEST(Suppression, RuleMismatchDoesNotSuppress)
+{
+    EXPECT_EQ(countRule(run("src/sim/x.cc",
+        "// copra-lint: allow(unordered-iter) -- wrong rule\n"
+        "int a = rand();\n"), "banned-api"), 1);
+}
+
+TEST(SelfTest, PassesOnTheShippedCorpus)
+{
+    std::string report;
+    bool ok = copra::lint::selfTest(COPRA_LINT_REPO_ROOT,
+                                    "tests/lint_corpus", report);
+    EXPECT_TRUE(ok) << report;
+}
+
+TEST(SelfTest, FailsOnMissingCorpus)
+{
+    std::string report;
+    EXPECT_FALSE(copra::lint::selfTest(COPRA_LINT_REPO_ROOT,
+                                       "tests/no_such_corpus", report));
+    EXPECT_FALSE(report.empty());
+}
+
+TEST(Tree, RepositoryLintsClean)
+{
+    auto findings = copra::lint::lintTree(
+        COPRA_LINT_REPO_ROOT, {"src", "bench", "tests", "tools"});
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.rel << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+}
+
+} // namespace

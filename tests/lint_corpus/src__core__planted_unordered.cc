@@ -1,0 +1,27 @@
+/**
+ * Corpus: range-for over unordered containers, both through a local
+ * declaration and through an accessor returning one.
+ */
+
+#include <string>
+#include <unordered_map>
+
+namespace copra::core {
+
+std::unordered_map<std::string, int> &
+table();
+
+int
+dumpCounts(const std::unordered_map<std::string, int> &counts)
+{
+    int sum = 0;
+    for (const auto &kv : counts) {            // expect: unordered-iter
+        sum += kv.second;
+    }
+    for (const auto &kv : table()) {           // expect: unordered-iter
+        sum += kv.second;
+    }
+    return sum;
+}
+
+} // namespace copra::core

@@ -1,0 +1,20 @@
+/**
+ * Corpus: unordered iteration with a commutative-aggregation
+ * justification; the allow() must hold and this file stays clean.
+ */
+
+#include <unordered_set>
+
+namespace copra::core {
+
+unsigned long
+population(const std::unordered_set<unsigned> &seen)
+{
+    unsigned long sum = 0;
+    // copra-lint: allow(unordered-iter) -- corpus: commutative sum
+    for (unsigned v : seen)
+        sum += v;
+    return sum;
+}
+
+} // namespace copra::core

@@ -1,0 +1,17 @@
+/**
+ * Corpus: unsanctioned mutable state at file scope and as a static
+ * local; both must fire mutable-global.
+ */
+
+namespace copra::predictor {
+
+int g_call_count = 0;                        // expect: mutable-global
+
+int
+nextId()
+{
+    static int counter = 0;                  // expect: mutable-global
+    return ++counter;
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,15 @@
+/**
+ * Corpus: mutable file-scope state carrying a sanctioned-global
+ * annotation; the finding must be suppressed. The constants below
+ * double as clean cases: const/constexpr state is always legal.
+ */
+
+namespace copra::predictor {
+
+// copra-lint: sanctioned-global(corpus: interned-name cache)
+int g_name_cache_hits = 0;
+
+constexpr int kTableBits = 12;
+const int kHistoryDepth = 8;
+
+} // namespace copra::predictor

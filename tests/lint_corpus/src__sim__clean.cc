@@ -1,0 +1,23 @@
+/**
+ * Corpus: a well-behaved translation unit. Zero findings expected;
+ * any finding here is a false positive and fails the self-test.
+ */
+
+#include <cstdint>
+
+namespace copra::sim {
+
+uint64_t
+fib(uint64_t n)
+{
+    uint64_t a = 0;
+    uint64_t b = 1;
+    while (n-- != 0) {
+        uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    return a;
+}
+
+} // namespace copra::sim

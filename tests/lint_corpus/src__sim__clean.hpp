@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * Corpus: a well-behaved header — pragma once, every curated std name
+ * backed by a direct include, ordered iteration only. Zero findings.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace copra::sim {
+
+struct CleanSample
+{
+    std::vector<uint64_t> values;
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t v : values)
+            sum += v;
+        return sum;
+    }
+};
+
+} // namespace copra::sim

@@ -1,0 +1,19 @@
+/**
+ * Corpus: malformed directives are findings themselves, and cannot be
+ * suppressed. Each bad comment stacks its expectation after a second
+ * slash-slash separator on the same line.
+ */
+
+namespace copra::sim {
+
+// copra-lint: allow(banned-api) // expect: annotation
+int
+identity(int x)
+{
+    return x;
+}
+
+// copra-lint: allow(no-such-rule) -- some reason // expect: annotation
+// copra-lint: frobnicate the grommets // expect: annotation
+
+} // namespace copra::sim

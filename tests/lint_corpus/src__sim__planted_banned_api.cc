@@ -1,0 +1,28 @@
+/**
+ * Corpus: planted banned-api violations. Lints as src/sim/..., so the
+ * result-producing scope rules apply. Every marked line must fire.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace copra::sim {
+
+int
+entropyLeak()
+{
+    int r = rand();                                // expect: banned-api
+    long t = time(nullptr);                        // expect: banned-api
+    auto now = std::chrono::steady_clock::now();   // expect: banned-api
+    (void)now;
+    return r + static_cast<int>(t);
+}
+
+const char *
+envLeak()
+{
+    return std::getenv("COPRA_SECRET");            // expect: banned-api
+}
+
+} // namespace copra::sim

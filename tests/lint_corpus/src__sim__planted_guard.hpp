@@ -1,0 +1,19 @@
+#ifndef COPRA_CORPUS_PLANTED_GUARD_HPP // expect: header-guard
+#define COPRA_CORPUS_PLANTED_GUARD_HPP
+
+/**
+ * Corpus: a classic macro include guard with no pragma once. Both
+ * header-guard findings land on line 1, where the marker sits.
+ */
+
+namespace copra::sim {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace copra::sim
+
+#endif

@@ -1,0 +1,16 @@
+#pragma once
+
+/**
+ * Corpus: std names used without their headers; include-lite must
+ * fire once per missing header, at the first use.
+ */
+
+namespace copra::sim {
+
+struct PlantedInclude
+{
+    std::vector<int> values;                   // expect: include-lite
+    uint64_t stamp = 0;                        // expect: include-lite
+};
+
+} // namespace copra::sim

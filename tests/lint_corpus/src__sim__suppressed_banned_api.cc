@@ -1,0 +1,19 @@
+/**
+ * Corpus: the same clock access as the planted file, but justified as
+ * timing-only. The allow() directive must silence the rule, so this
+ * file contributes zero findings.
+ */
+
+#include <chrono>
+
+namespace copra::sim {
+
+double
+phaseSeconds()
+{
+    // copra-lint: allow(banned-api) -- corpus: timing-only sample
+    auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+} // namespace copra::sim

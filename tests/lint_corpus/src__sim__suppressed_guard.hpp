@@ -1,0 +1,21 @@
+// copra-lint: allow(header-guard) -- corpus: mimics a vendored header
+#ifndef COPRA_CORPUS_SUPPRESSED_GUARD_HPP
+#define COPRA_CORPUS_SUPPRESSED_GUARD_HPP
+
+/**
+ * Corpus: the same legacy guard, suppressed. The allow() on line 1
+ * covers the missing-pragma finding (line 1) and the legacy-guard
+ * finding (line 2).
+ */
+
+namespace copra::sim {
+
+inline int
+zero()
+{
+    return 0;
+}
+
+} // namespace copra::sim
+
+#endif

@@ -1,0 +1,13 @@
+#pragma once
+
+/**
+ * Corpus: an include-lite violation with a justification; the allow()
+ * must hold and this header stays clean.
+ */
+
+namespace copra::sim {
+
+// copra-lint: allow(include-lite) -- corpus: alias header on purpose
+using ValueList = std::vector<int>;
+
+} // namespace copra::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CLI for copra_lint. Exit codes: 0 clean, 1 findings (or self-test
+ * mismatch), 2 usage error.
+ *
+ *   copra_lint --root . src bench tests tools   # the ctest gate
+ *   copra_lint --root . --self-test tests/lint_corpus
+ *   copra_lint --list-rules
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "copra_lint/lint.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--root DIR] [--self-test CORPUS_DIR] [--list-rules]\n"
+        << "       [PATH...]\n\n"
+        << "Lints PATHs (default: src bench tests tools) relative to\n"
+        << "--root (default: .) against copra's determinism contract.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string corpus;
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--self-test" && i + 1 < argc) {
+            corpus = argv[++i];
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option " << arg << "\n";
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const auto &[name, blurb] : copra::lint::ruleCatalog())
+            std::cout << name << ": " << blurb << "\n";
+        return 0;
+    }
+
+    if (!corpus.empty()) {
+        std::string report;
+        bool ok = copra::lint::selfTest(root, corpus, report);
+        std::cout << report;
+        std::cout << (ok ? "self-test passed: every planted violation "
+                           "fired and every suppression held\n"
+                         : "self-test FAILED\n");
+        return ok ? 0 : 1;
+    }
+
+    if (paths.empty())
+        paths = {"src", "bench", "tests", "tools"};
+
+    std::vector<copra::lint::Finding> findings =
+        copra::lint::lintTree(root, paths);
+    for (const copra::lint::Finding &f : findings)
+        std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    if (!findings.empty()) {
+        std::cout << findings.size()
+                  << " finding(s); see DESIGN.md section 9 for the "
+                     "suppression policy\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Lexer for copra_lint: splits a C++ source file into raw lines, a
+ * comment/string/preprocessor-free token stream, include directives,
+ * guard information, and parsed copra-lint annotations.
+ */
+
+#include "copra_lint/lint.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace copra::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+}
+
+/**
+ * Parse one `//`-free segment of comment text for copra-lint
+ * directives and the corpus-only expectation markers. Anything that
+ * starts with the copra-lint prefix but does not parse becomes a
+ * Malformed annotation so typos fail the lint run instead of silently
+ * suppressing nothing.
+ */
+void
+parseCommentSegment(const std::string &text, int line,
+                    std::vector<Annotation> &out)
+{
+    size_t pos = text.find("copra-lint:");
+    if (pos != std::string::npos) {
+        std::string body = trimmed(text.substr(pos + 11));
+        Annotation ann;
+        ann.line = line;
+        if (body.rfind("allow(", 0) == 0) {
+            size_t close = body.find(')');
+            if (close == std::string::npos) {
+                ann.error = "unterminated allow(...)";
+            } else {
+                ann.rule = trimmed(body.substr(6, close - 6));
+                std::string reason = trimmed(body.substr(close + 1));
+                while (!reason.empty() &&
+                       (reason.front() == '-' || reason.front() == ':'))
+                    reason.erase(reason.begin());
+                ann.reason = trimmed(reason);
+                if (!knownRule(ann.rule))
+                    ann.error = "allow() names unknown rule '" +
+                        ann.rule + "'";
+                else if (ann.reason.empty())
+                    ann.error = "allow(" + ann.rule +
+                        ") carries no reason";
+                else
+                    ann.kind = Annotation::Kind::Allow;
+            }
+        } else if (body.rfind("sanctioned-global(", 0) == 0) {
+            size_t close = body.rfind(')');
+            if (close == std::string::npos || close < 18) {
+                ann.error = "unterminated sanctioned-global(...)";
+            } else {
+                ann.reason = trimmed(body.substr(18, close - 18));
+                if (ann.reason.empty())
+                    ann.error = "sanctioned-global() carries no reason";
+                else
+                    ann.kind = Annotation::Kind::SanctionedGlobal;
+            }
+        } else {
+            ann.error = "unknown copra-lint directive '" + body + "'";
+        }
+        out.push_back(ann);
+        return;
+    }
+
+    // Corpus marker: `expect: rule-a, rule-b` pins planted violations.
+    pos = text.find("expect:");
+    if (pos == std::string::npos)
+        return;
+    std::string body = trimmed(text.substr(pos + 7));
+    size_t start = 0;
+    while (start <= body.size()) {
+        size_t comma = body.find(',', start);
+        std::string rule = trimmed(body.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start));
+        if (!rule.empty()) {
+            Annotation ann;
+            ann.kind = Annotation::Kind::Expect;
+            ann.rule = rule;
+            ann.line = line;
+            out.push_back(ann);
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+}
+
+/**
+ * One physical comment can stack several logical ones (`// a // b`),
+ * which the corpus uses to pin an expectation next to a deliberately
+ * malformed directive. Split and parse each segment independently.
+ */
+void
+parseCommentText(const std::string &text, int line,
+                 std::vector<Annotation> &out)
+{
+    size_t start = 0;
+    for (;;) {
+        size_t next = text.find("//", start);
+        parseCommentSegment(
+            text.substr(start, next == std::string::npos
+                                   ? std::string::npos
+                                   : next - start),
+            line, out);
+        if (next == std::string::npos)
+            break;
+        start = next + 2;
+    }
+}
+
+} // namespace
+
+FileScan
+scanSource(const std::string &rel, const std::string &content)
+{
+    FileScan scan;
+    scan.rel = rel;
+
+    // Raw lines first; every other view indexes into these.
+    {
+        std::string line;
+        for (char c : content) {
+            if (c == '\n') {
+                scan.lines.push_back(line);
+                line.clear();
+            } else {
+                line += c;
+            }
+        }
+        if (!line.empty())
+            scan.lines.push_back(line);
+    }
+
+    enum class State { Code, LineComment, BlockComment, String, Char,
+                       RawString };
+    State state = State::Code;
+    std::string comment;  // accumulating comment text
+    std::string rawDelim; // raw-string delimiter, e.g. `)foo"`
+    int commentLine = 0;
+    int line = 1;
+    bool lineStart = true; // only whitespace seen on this line so far
+
+    const std::string &src = content;
+    size_t n = src.size();
+    for (size_t i = 0; i < n; ++i) {
+        char c = src[i];
+        char next = i + 1 < n ? src[i + 1] : '\0';
+
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                comment.clear();
+                commentLine = line;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                comment.clear();
+                commentLine = line;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim"
+                size_t open;
+                if (!scan.tokens.empty() &&
+                    scan.tokens.back().text == "R" &&
+                    i > 0 && src[i - 1] == 'R' &&
+                    (open = src.find('(', i + 1)) != std::string::npos) {
+                    scan.tokens.pop_back();
+                    rawDelim = ")" +
+                        src.substr(i + 1, open - i - 1) + "\"";
+                    state = State::RawString;
+                    i = open;
+                } else {
+                    state = State::String;
+                }
+            } else if (c == '\'') {
+                state = State::Char;
+            } else if (c == '#' && lineStart) {
+                // Preprocessor line: recorded for include/guard rules,
+                // excluded from the statement token stream.
+                size_t end = i;
+                std::string directive;
+                bool trailingComment = false;
+                while (end < n && src[end] != '\n') {
+                    if (src[end] == '/' && end + 1 < n &&
+                        src[end + 1] == '/') {
+                        // Hand `// ...` back to the comment states so
+                        // directives on guard lines stay annotatable.
+                        trailingComment = true;
+                        break;
+                    }
+                    directive += src[end];
+                    if (src[end] == '\\' && end + 1 < n &&
+                        src[end + 1] == '\n')
+                        directive += src[++end]; // keep continuation
+                    ++end;
+                }
+                std::string flat = trimmed(directive.substr(1));
+                if (flat.rfind("include", 0) == 0) {
+                    std::string rest = trimmed(flat.substr(7));
+                    if (rest.size() >= 2 &&
+                        (rest[0] == '<' || rest[0] == '"')) {
+                        char closer = rest[0] == '<' ? '>' : '"';
+                        size_t close = rest.find(closer, 1);
+                        if (close != std::string::npos)
+                            scan.includes.insert(
+                                rest.substr(1, close - 1));
+                    }
+                } else if (flat.rfind("pragma", 0) == 0 &&
+                           trimmed(flat.substr(6)) == "once") {
+                    scan.pragmaOnce = true;
+                } else if (flat.rfind("ifndef", 0) == 0 &&
+                           scan.guardLine == 0 && !scan.pragmaOnce &&
+                           scan.includes.empty()) {
+                    // A classic guard opens before any include; the
+                    // header-guard rule decides what to do with it.
+                    scan.guardLine = line;
+                }
+                for (size_t k = i; k < end; ++k)
+                    if (src[k] == '\n')
+                        ++line;
+                if (trailingComment) {
+                    i = end - 1; // next iteration sees the `//`
+                    lineStart = false;
+                } else {
+                    i = end;
+                    if (i < n)
+                        ++line; // the newline ending the directive
+                    lineStart = true;
+                }
+                continue;
+            } else if (isIdentStart(c)) {
+                std::string word(1, c);
+                while (i + 1 < n && isIdentChar(src[i + 1]))
+                    word += src[++i];
+                scan.tokens.push_back({word, line});
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::string num(1, c);
+                while (i + 1 < n &&
+                       (isIdentChar(src[i + 1]) || src[i + 1] == '.' ||
+                        ((src[i] == 'e' || src[i] == 'E') &&
+                         (src[i + 1] == '+' || src[i + 1] == '-'))))
+                    num += src[++i];
+                scan.tokens.push_back({num, line});
+            } else if (c == ':' && next == ':') {
+                scan.tokens.push_back({"::", line});
+                ++i;
+            } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                scan.tokens.push_back({std::string(1, c), line});
+            }
+            break;
+
+          case State::LineComment:
+            if (c == '\n') {
+                parseCommentText(comment, commentLine,
+                                 scan.annotations);
+                state = State::Code;
+            } else {
+                comment += c;
+            }
+            break;
+
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                parseCommentText(comment, commentLine,
+                                 scan.annotations);
+                state = State::Code;
+                ++i;
+            } else {
+                comment += c;
+            }
+            break;
+
+          case State::String:
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                state = State::Code;
+            break;
+
+          case State::Char:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                state = State::Code;
+            break;
+
+          case State::RawString:
+            if (src.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                state = State::Code;
+            }
+            break;
+        }
+
+        if (c == '\n') {
+            ++line;
+            lineStart = true;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            lineStart = false;
+        }
+    }
+    if (state == State::LineComment)
+        parseCommentText(comment, commentLine, scan.annotations);
+
+    return scan;
+}
+
+} // namespace copra::lint

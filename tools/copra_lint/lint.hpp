@@ -1,0 +1,132 @@
+/**
+ * @file
+ * copra_lint: the project's determinism-contract static analyzer.
+ *
+ * A deliberately small token-level scanner (no libclang) that enforces
+ * the invariants PR 1 and PR 2 only checked dynamically: no hidden
+ * entropy sources in simulation code, no unsanctioned mutable global
+ * state, no hash-order-dependent iteration feeding results, and header
+ * hygiene. See DESIGN.md §9 for the rule list and suppression policy.
+ *
+ * The analysis is honest about being lexical: it tokenizes after
+ * stripping comments, strings, and preprocessor lines, then pattern
+ * matches. That catches every construct this codebase actually uses;
+ * the planted corpus under tests/lint_corpus/ pins the behaviour.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace copra::lint {
+
+/** One lexical token: an identifier, number, or punctuator. */
+struct Token
+{
+    std::string text;
+    int line = 0;
+};
+
+/** A parsed copra-lint directive or corpus expectation comment. */
+struct Annotation
+{
+    enum class Kind {
+        Allow,            ///< the allow(rule) -- reason directive
+        SanctionedGlobal, ///< the sanctioned-global(reason) directive
+        Expect,           ///< a corpus-file expectation marker
+        Malformed,        ///< a directive the parser rejects
+    };
+
+    Kind kind = Kind::Malformed;
+    std::string rule;   ///< rule name for Allow/Expect
+    std::string reason; ///< mandatory justification text
+    int line = 0;       ///< line the comment appears on
+    std::string error;  ///< parser diagnostic for Malformed
+};
+
+/** Lexed view of one source file, input to every rule. */
+struct FileScan
+{
+    std::string rel; ///< repo-relative path, forward slashes
+    std::vector<std::string> lines;
+    std::vector<Token> tokens; ///< comments/strings/preproc stripped
+    std::vector<Annotation> annotations;
+    std::set<std::string> includes; ///< #include targets, verbatim
+    bool pragmaOnce = false;        ///< has a #pragma once line
+    int guardLine = 0;              ///< line of a legacy ifndef guard, or 0
+};
+
+/** One rule violation. */
+struct Finding
+{
+    std::string rel;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool operator<(const Finding &o) const
+    {
+        if (rel != o.rel)
+            return rel < o.rel;
+        if (line != o.line)
+            return line < o.line;
+        return rule < o.rule;
+    }
+};
+
+/** Every rule copra_lint knows, with its one-line contract. */
+std::vector<std::pair<std::string, std::string>> ruleCatalog();
+
+/** True iff `rule` is in the catalog. */
+bool knownRule(const std::string &rule);
+
+/** Lex `content` as the file at repo-relative path `rel`. */
+FileScan scanSource(const std::string &rel, const std::string &content);
+
+/**
+ * Unordered-container knowledge harvested from declarations: variable
+ * and accessor names whose type involves std::unordered_map/set.
+ * Collected from a file's own tokens plus its directly included
+ * project headers, so `for (x : ledger.table())` is visible from a
+ * .cc that only includes sim/ledger.hpp.
+ */
+struct UnorderedDecls
+{
+    std::set<std::string> variables;
+    std::set<std::string> accessors;
+};
+
+/** Harvest unordered declarations from one scan. */
+void collectUnorderedDecls(const FileScan &scan, UnorderedDecls &out);
+
+/**
+ * Run every applicable rule over one file. `extra` carries unordered
+ * declarations harvested from included headers (may be empty).
+ * Suppressed findings are dropped; malformed annotations surface as
+ * `annotation` findings.
+ */
+std::vector<Finding> runRules(const FileScan &scan,
+                              const UnorderedDecls &extra);
+
+/**
+ * Lint a source tree rooted at `root`, restricted to `paths`
+ * (root-relative directories or files). Resolves project includes so
+ * cross-header unordered knowledge is available. Results are sorted.
+ */
+std::vector<Finding> lintTree(const std::string &root,
+                              const std::vector<std::string> &paths);
+
+/**
+ * Self-test over a planted-violation corpus: every expectation
+ * marker must produce exactly one finding of that rule on its line,
+ * no unexpected findings may appear, every rule must both fire and be
+ * exercised in suppressed form somewhere in the corpus. Returns true
+ * on success; mismatch details are appended to `report`.
+ */
+bool selfTest(const std::string &root, const std::string &corpus,
+              std::string &report);
+
+} // namespace copra::lint

@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Rule engine for copra_lint. Each rule is a pure function from a
+ * FileScan (plus cross-file unordered-container knowledge) to
+ * findings; suppression and scoping are applied uniformly at the end.
+ *
+ * Scoping philosophy: the determinism rules bite hardest where results
+ * are produced (src/sim, src/predictor, src/core), the hygiene rules
+ * apply tree-wide. See DESIGN.md §9 for the rule-by-rule contract.
+ */
+
+#include "copra_lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace copra::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+inDir(const std::string &rel, const std::string &prefix)
+{
+    return rel.rfind(prefix, 0) == 0;
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return rel.size() > 4 && (rel.ends_with(".hpp") || rel.ends_with(".h"));
+}
+
+bool
+contains(const std::set<std::string> &set, const std::string &name)
+{
+    return set.find(name) != set.end();
+}
+
+/** Identifiers whose mere qualified mention is an entropy leak. */
+const std::set<std::string> kBannedTypes = {
+    "random_device", "steady_clock", "system_clock",
+    "high_resolution_clock",
+};
+
+/** Functions banned when called (identifier followed by `(`). */
+const std::set<std::string> kBannedCalls = {
+    "rand", "srand", "time", "clock",
+};
+
+/** Statement keywords that mark a namespace-scope decl as harmless. */
+const std::set<std::string> kDeclExemptKeywords = {
+    "using",    "typedef", "template",      "friend",   "extern",
+    "namespace", "class",  "struct",        "union",    "enum",
+    "concept",  "operator", "static_assert", "constexpr",
+    "constinit", "const",
+};
+
+/** IWYU-lite: curated `std::` name -> required standard header. */
+const std::vector<std::pair<std::string, std::string>> kIncludeMap = {
+    {"vector", "vector"},
+    {"string", "string"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+    {"map", "map"},
+    {"optional", "optional"},
+    {"nullopt", "optional"},
+    {"span", "span"},
+    {"array", "array"},
+    {"unique_ptr", "memory"},
+    {"shared_ptr", "memory"},
+    {"make_unique", "memory"},
+    {"make_shared", "memory"},
+    {"function", "functional"},
+    {"atomic", "atomic"},
+    {"mutex", "mutex"},
+    {"lock_guard", "mutex"},
+    {"unique_lock", "mutex"},
+    {"condition_variable", "condition_variable"},
+    {"thread", "thread"},
+};
+
+/** Bare typedef names that require <cstdint>. */
+const std::set<std::string> kCstdintTypes = {
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t",  "int16_t",  "int32_t",  "int64_t",
+};
+
+void
+report(std::vector<Finding> &out, const FileScan &scan, int line,
+       const std::string &rule, const std::string &message)
+{
+    out.push_back({scan.rel, line, rule, message});
+}
+
+/**
+ * Rule banned-api: entropy and environment doorways are forbidden in
+ * result-producing code. Clock types anywhere in scope need an
+ * explicit allow() marking them as timing-only; getenv is legal only
+ * under src/util (the env.hpp doorway).
+ */
+void
+ruleBannedApi(const FileScan &scan, std::vector<Finding> &out)
+{
+    bool resultScope = inDir(scan.rel, "src/sim/") ||
+        inDir(scan.rel, "src/predictor/") || inDir(scan.rel, "src/core/");
+    bool getenvScope = inDir(scan.rel, "src/") &&
+        !inDir(scan.rel, "src/util/");
+    if (!resultScope && !getenvScope)
+        return;
+
+    const auto &toks = scan.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        bool qualified = i > 0 && toks[i - 1].text == "::";
+        // `->` reaches us as two one-char tokens, so arrow access is
+        // prev == ">" with a "-" right before it.
+        bool member = i > 0 &&
+            (toks[i - 1].text == "." ||
+             (toks[i - 1].text == ">" && i > 1 &&
+              toks[i - 2].text == "-"));
+        bool called = i + 1 < toks.size() && toks[i + 1].text == "(";
+
+        if (getenvScope && t == "getenv" && (qualified || called) &&
+            !member) {
+            report(out, scan, toks[i].line, "banned-api",
+                   "getenv outside src/util: route environment access "
+                   "through util/env.hpp");
+            continue;
+        }
+        if (!resultScope)
+            continue;
+        if (kBannedTypes.count(t) && qualified) {
+            report(out, scan, toks[i].line, "banned-api",
+                   "std::" + t + " in result-producing code: entropy "
+                   "and wall clocks break run-to-run determinism");
+        } else if (kBannedCalls.count(t) && called && !member) {
+            // `time(...)`/`clock(...)` style calls; member functions
+            // and locals that merely reuse the name stay legal.
+            bool plain = !qualified ||
+                (i >= 2 && toks[i - 2].text == "std");
+            if (plain)
+                report(out, scan, toks[i].line, "banned-api",
+                       t + "() in result-producing code: use the "
+                       "seeded util/rng.hpp or pass time in explicitly");
+        }
+    }
+}
+
+/**
+ * Rule unordered-iter: range-for over a std::unordered_{map,set}
+ * (directly, or through an accessor returning one) makes downstream
+ * output and float aggregation depend on hash order. Commutative
+ * integer aggregation is fine but must say so via allow().
+ */
+void
+ruleUnorderedIter(const FileScan &scan, const UnorderedDecls &decls,
+                  std::vector<Finding> &out)
+{
+    if (!inDir(scan.rel, "src/") && !inDir(scan.rel, "bench/"))
+        return;
+
+    const auto &toks = scan.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "for" || toks[i + 1].text != "(")
+            continue;
+        // Find the range `:` at depth 1, then the closing paren.
+        int depth = 0;
+        size_t colon = 0, close = 0;
+        for (size_t j = i + 1; j < toks.size(); ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "(")
+                ++depth;
+            else if (t == ")") {
+                if (--depth == 0) {
+                    close = j;
+                    break;
+                }
+            } else if (t == ":" && depth == 1 && colon == 0) {
+                colon = j;
+            } else if (t == ";" && depth == 1) {
+                break; // classic three-clause for
+            }
+        }
+        if (colon == 0 || close == 0)
+            continue;
+        for (size_t j = colon + 1; j < close; ++j) {
+            const std::string &name = toks[j].text;
+            bool call = j + 1 < close && toks[j + 1].text == "(";
+            if ((contains(decls.variables, name) && !call) ||
+                (contains(decls.accessors, name) && call)) {
+                report(out, scan, toks[i].line, "unordered-iter",
+                       "iteration over unordered container '" + name +
+                       "': order is hash-dependent; sort first or "
+                       "justify with allow(unordered-iter)");
+                break;
+            }
+        }
+    }
+}
+
+/** Context for one `{ ... }` scope while walking a token stream. */
+enum class Scope { Namespace, Class, Func, Init };
+
+/**
+ * Rule mutable-global: namespace-scope (incl. anonymous-namespace and
+ * thread_local) mutable variables and non-const static locals are
+ * hidden channels between runs and between threads; each survivor
+ * must carry a sanctioned-global(<reason>) annotation.
+ */
+void
+ruleMutableGlobal(const FileScan &scan, std::vector<Finding> &out)
+{
+    const auto &toks = scan.tokens;
+    std::vector<Scope> stack;
+    size_t stmt = 0; // index of the first token of the open statement
+
+    auto stmtHas = [&](size_t from, size_t to, const std::string &w) {
+        for (size_t k = from; k < to; ++k)
+            if (toks[k].text == w)
+                return true;
+        return false;
+    };
+
+    auto atNamespaceScope = [&]() {
+        return std::all_of(stack.begin(), stack.end(), [](Scope s) {
+            return s == Scope::Namespace;
+        });
+    };
+    auto inFunction = [&]() {
+        return std::any_of(stack.begin(), stack.end(), [](Scope s) {
+            return s == Scope::Func;
+        });
+    };
+
+    auto checkDecl = [&](size_t from, size_t to) {
+        if (from >= to)
+            return;
+        bool nsScope = atNamespaceScope();
+        bool staticLocal = inFunction() && stmtHas(from, to, "static");
+        if (!nsScope && !staticLocal)
+            return;
+        for (const std::string &kw : kDeclExemptKeywords)
+            if (stmtHas(from, to, kw))
+                return;
+        if (stmtHas(from, to, "(")) // function decl or macro invocation
+            return;
+        // Count identifier-ish tokens: a declaration needs a type and
+        // a name; stray expression statements don't get this far.
+        size_t idents = 0;
+        std::string name;
+        int line = toks[from].line;
+        for (size_t k = from; k < to; ++k) {
+            const std::string &t = toks[k].text;
+            if (t == "=" || t == "{" || t == "[")
+                break;
+            if ((std::isalpha(static_cast<unsigned char>(t[0])) ||
+                 t[0] == '_')) {
+                ++idents;
+                name = t;
+                line = toks[k].line;
+            }
+        }
+        if (idents < 2)
+            return;
+        report(out, scan, line, "mutable-global",
+               std::string(staticLocal && !nsScope ? "static local"
+                                                   : "file-scope") +
+               " mutable state '" + name + "': annotate with "
+               "sanctioned-global(<reason>) or remove");
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (t == "{") {
+            Scope scope;
+            if (stmtHas(stmt, i, "namespace") ||
+                stmtHas(stmt, i, "extern"))
+                scope = Scope::Namespace;
+            else if (stmtHas(stmt, i, "class") ||
+                     stmtHas(stmt, i, "struct") ||
+                     stmtHas(stmt, i, "union") ||
+                     stmtHas(stmt, i, "enum"))
+                scope = Scope::Class;
+            else if (stmtHas(stmt, i, "("))
+                // Function definition (possibly `const`/`noexcept`
+                // qualified), control statement, or lambda body.
+                scope = Scope::Func;
+            else if (i > 0 && (toks[i - 1].text == "=" ||
+                               toks[i - 1].text == ">" ||
+                               toks[i - 1].text == "]" ||
+                               (std::isalnum(static_cast<unsigned char>(
+                                    toks[i - 1].text[0])) ||
+                                toks[i - 1].text[0] == '_') ||
+                               toks[i - 1].text == "::"))
+                scope = Scope::Init; // brace initializer, not a scope
+            else
+                scope = Scope::Func;
+            stack.push_back(scope);
+            if (scope != Scope::Init)
+                stmt = i + 1;
+        } else if (t == "}") {
+            bool wasInit = !stack.empty() && stack.back() == Scope::Init;
+            if (!stack.empty())
+                stack.pop_back();
+            if (!wasInit)
+                stmt = i + 1;
+        } else if (t == ";") {
+            // Ignore `;` inside for(...) headers: they sit at paren
+            // depth > 0, which we detect by scanning the statement.
+            int parens = 0;
+            for (size_t k = stmt; k < i; ++k) {
+                if (toks[k].text == "(")
+                    ++parens;
+                else if (toks[k].text == ")")
+                    --parens;
+            }
+            if (parens > 0)
+                continue;
+            checkDecl(stmt, i);
+            stmt = i + 1;
+        }
+    }
+}
+
+/**
+ * Rule header-guard: headers use `#pragma once`, never the macro
+ * guard dance — one convention, zero chance of a copy-pasted guard
+ * name collision.
+ */
+void
+ruleHeaderGuard(const FileScan &scan, std::vector<Finding> &out)
+{
+    if (!isHeader(scan.rel))
+        return;
+    if (scan.guardLine != 0)
+        report(out, scan, scan.guardLine, "header-guard",
+               "legacy #ifndef include guard: use #pragma once");
+    if (!scan.pragmaOnce)
+        report(out, scan, 1, "header-guard",
+               "header lacks #pragma once");
+}
+
+/**
+ * Rule include-lite: headers must directly include what they use,
+ * for a curated set of unmistakable std names. Keeps headers
+ * self-contained without dragging in a full IWYU implementation.
+ */
+void
+ruleIncludeLite(const FileScan &scan, std::vector<Finding> &out)
+{
+    if (!isHeader(scan.rel))
+        return;
+
+    std::map<std::string, int> missing; // header -> first-use line
+    const auto &toks = scan.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        bool stdQualified = i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].text == "std";
+        if (stdQualified) {
+            for (const auto &[name, header] : kIncludeMap) {
+                if (t == name && !scan.includes.count(header)) {
+                    missing.emplace(header, toks[i].line);
+                    break;
+                }
+            }
+        } else if (kCstdintTypes.count(t) &&
+                   !scan.includes.count("cstdint")) {
+            missing.emplace("cstdint", toks[i].line);
+        }
+    }
+    for (const auto &[header, line] : missing)
+        report(out, scan, line, "include-lite",
+               "uses std names from <" + header +
+               "> without including it directly");
+}
+
+/** Malformed copra-lint comments are findings themselves. */
+void
+ruleAnnotation(const FileScan &scan, std::vector<Finding> &out)
+{
+    for (const Annotation &ann : scan.annotations)
+        if (ann.kind == Annotation::Kind::Malformed)
+            report(out, scan, ann.line, "annotation", ann.error);
+}
+
+/**
+ * Apply suppressions: an allow(rule) covers findings of that rule on
+ * its own line and the next; sanctioned-global covers mutable-global
+ * the same way. `annotation` findings cannot be suppressed.
+ */
+std::vector<Finding>
+applySuppressions(const FileScan &scan, std::vector<Finding> findings)
+{
+    std::vector<Finding> kept;
+    for (Finding &f : findings) {
+        bool suppressed = false;
+        if (f.rule != "annotation") {
+            for (const Annotation &ann : scan.annotations) {
+                bool covers = ann.line == f.line ||
+                    ann.line + 1 == f.line;
+                if (!covers)
+                    continue;
+                if (ann.kind == Annotation::Kind::Allow &&
+                    ann.rule == f.rule)
+                    suppressed = true;
+                if (ann.kind == Annotation::Kind::SanctionedGlobal &&
+                    f.rule == "mutable-global")
+                    suppressed = true;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(f));
+    }
+    return kept;
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, std::string>>
+ruleCatalog()
+{
+    return {
+        {"banned-api",
+         "no rand/srand/time/clock/random_device/*_clock in src/{sim,"
+         "predictor,core}; getenv only under src/util"},
+        {"unordered-iter",
+         "no range-for over std::unordered_{map,set} in src/ or bench/ "
+         "without an allow() justification"},
+        {"mutable-global",
+         "no unsanctioned mutable file-scope/static-local state"},
+        {"header-guard", "headers use #pragma once, not macro guards"},
+        {"include-lite",
+         "headers directly include the curated std headers they use"},
+        {"annotation",
+         "copra-lint comments must parse and carry reasons"},
+    };
+}
+
+bool
+knownRule(const std::string &rule)
+{
+    for (const auto &[name, blurb] : ruleCatalog())
+        if (name == rule)
+            return true;
+    return false;
+}
+
+void
+collectUnorderedDecls(const FileScan &scan, UnorderedDecls &out)
+{
+    const auto &toks = scan.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].text != "unordered_map" &&
+            toks[i].text != "unordered_set")
+            continue;
+        // Skip the template argument list, then `&`/`*` decoration.
+        size_t j = i + 1;
+        if (j < toks.size() && toks[j].text == "<") {
+            int depth = 0;
+            for (; j < toks.size(); ++j) {
+                if (toks[j].text == "<")
+                    ++depth;
+                else if (toks[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*" ||
+                toks[j].text == "const"))
+            ++j;
+        // Step over `Class::` qualifiers on out-of-line definitions so
+        // the declared name, not the class, is what gets registered.
+        while (j + 2 < toks.size() && toks[j + 1].text == "::")
+            j += 2;
+        if (j >= toks.size())
+            continue;
+        const std::string &name = toks[j].text;
+        if (!(std::isalpha(static_cast<unsigned char>(name[0])) ||
+              name[0] == '_'))
+            continue;
+        bool isCall = j + 1 < toks.size() && toks[j + 1].text == "(";
+        (isCall ? out.accessors : out.variables).insert(name);
+    }
+}
+
+std::vector<Finding>
+runRules(const FileScan &scan, const UnorderedDecls &extra)
+{
+    UnorderedDecls decls = extra;
+    collectUnorderedDecls(scan, decls);
+
+    std::vector<Finding> out;
+    ruleBannedApi(scan, out);
+    ruleUnorderedIter(scan, decls, out);
+    ruleMutableGlobal(scan, out);
+    ruleHeaderGuard(scan, out);
+    ruleIncludeLite(scan, out);
+    out = applySuppressions(scan, std::move(out));
+    ruleAnnotation(scan, out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+lintableFile(const fs::path &path)
+{
+    std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/** Directories that hold planted violations or generated artifacts. */
+bool
+skippedDir(const std::string &name)
+{
+    return name == "lint_corpus" || name == "golden" ||
+        name == ".git" || name.rfind("build", 0) == 0;
+}
+
+std::vector<fs::path>
+collectFiles(const fs::path &root, const std::vector<std::string> &paths)
+{
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        fs::path abs = root / p;
+        if (fs::is_regular_file(abs)) {
+            if (lintableFile(abs))
+                files.push_back(abs);
+            continue;
+        }
+        if (!fs::is_directory(abs))
+            continue;
+        fs::recursive_directory_iterator it(abs), end;
+        for (; it != end; ++it) {
+            if (it->is_directory() &&
+                skippedDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && lintableFile(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+relPath(const fs::path &root, const fs::path &file)
+{
+    return fs::relative(file, root).generic_string();
+}
+
+} // namespace
+
+std::vector<Finding>
+lintTree(const std::string &rootStr, const std::vector<std::string> &paths)
+{
+    fs::path root(rootStr);
+    std::vector<fs::path> files = collectFiles(root, paths);
+
+    // First pass: lex everything and harvest unordered declarations
+    // per header, keyed by include spelling (e.g. "sim/ledger.hpp").
+    std::vector<FileScan> scans;
+    std::map<std::string, UnorderedDecls> headerDecls;
+    scans.reserve(files.size());
+    for (const fs::path &file : files) {
+        FileScan scan = scanSource(relPath(root, file), readFile(file));
+        if (isHeader(scan.rel)) {
+            UnorderedDecls decls;
+            collectUnorderedDecls(scan, decls);
+            // Headers are included src-relative ("sim/ledger.hpp") or,
+            // for bench/, by bare name ("bench_common.hpp").
+            std::string key = scan.rel;
+            if (key.rfind("src/", 0) == 0)
+                key = key.substr(4);
+            else if (key.rfind("bench/", 0) == 0)
+                key = key.substr(6);
+            headerDecls[key] = decls;
+        }
+        scans.push_back(std::move(scan));
+    }
+
+    // Second pass: run rules, seeding each file with the declarations
+    // of the project headers it directly includes.
+    std::vector<Finding> all;
+    for (const FileScan &scan : scans) {
+        UnorderedDecls extra;
+        for (const std::string &inc : scan.includes) {
+            auto it = headerDecls.find(inc);
+            if (it != headerDecls.end()) {
+                extra.variables.insert(it->second.variables.begin(),
+                                       it->second.variables.end());
+                extra.accessors.insert(it->second.accessors.begin(),
+                                       it->second.accessors.end());
+            }
+        }
+        std::vector<Finding> found = runRules(scan, extra);
+        all.insert(all.end(), found.begin(), found.end());
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+bool
+selfTest(const std::string &rootStr, const std::string &corpus,
+         std::string &report)
+{
+    fs::path root(rootStr);
+    fs::path dir = root / corpus;
+    std::ostringstream log;
+    bool ok = true;
+
+    std::vector<fs::path> files;
+    if (fs::is_directory(dir))
+        for (const auto &entry : fs::directory_iterator(dir))
+            if (entry.is_regular_file() && lintableFile(entry.path()))
+                files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        report += "self-test: no corpus files under " + dir.string() +
+            "\n";
+        return false;
+    }
+
+    std::set<std::string> fired;      // rules seen firing as expected
+    std::set<std::string> suppressed; // rules exercised via allow()
+
+    for (const fs::path &file : files) {
+        // Corpus files carry their intended repo location in their
+        // name: `src__sim__planted.cc` lints as `src/sim/planted.cc`,
+        // so scoped rules see the directory they police.
+        std::string rel = file.filename().string();
+        size_t pos;
+        while ((pos = rel.find("__")) != std::string::npos)
+            rel.replace(pos, 2, "/");
+
+        FileScan scan = scanSource(rel, readFile(file));
+        std::set<std::pair<int, std::string>> expected;
+        for (const Annotation &ann : scan.annotations) {
+            if (ann.kind == Annotation::Kind::Expect)
+                expected.insert({ann.line, ann.rule});
+            if (ann.kind == Annotation::Kind::Allow)
+                suppressed.insert(ann.rule);
+            if (ann.kind == Annotation::Kind::SanctionedGlobal)
+                suppressed.insert("mutable-global");
+        }
+
+        std::set<std::pair<int, std::string>> actual;
+        for (const Finding &f : runRules(scan, {}))
+            actual.insert({f.line, f.rule});
+
+        for (const auto &[line, rule] : expected) {
+            if (actual.count({line, rule})) {
+                fired.insert(rule);
+            } else {
+                ok = false;
+                log << file.filename().string() << ":" << line
+                    << ": expected " << rule << " did not fire\n";
+            }
+        }
+        for (const auto &[line, rule] : actual) {
+            if (!expected.count({line, rule})) {
+                ok = false;
+                log << file.filename().string() << ":" << line
+                    << ": unexpected " << rule << " finding\n";
+            }
+        }
+    }
+
+    for (const auto &[rule, blurb] : ruleCatalog()) {
+        if (!fired.count(rule)) {
+            ok = false;
+            log << "corpus never fires rule " << rule << "\n";
+        }
+        if (rule != "annotation" && !suppressed.count(rule)) {
+            ok = false;
+            log << "corpus never exercises suppression of " << rule
+                << "\n";
+        }
+    }
+
+    report += log.str();
+    return ok;
+}
+
+} // namespace copra::lint
