@@ -26,7 +26,6 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -35,6 +34,8 @@
 #include "core/experiments.hpp"
 #include "trace/trace_cache.hpp"
 #include "util/cli.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/profiles.hpp"
 
@@ -113,6 +114,37 @@ struct SuiteTiming
 };
 
 /**
+ * Mutex-guarded SuiteTiming accumulator for the parallel fan-out. The
+ * guarded_by annotation makes the locking discipline a compile-time
+ * property under -Wthread-safety (DESIGN.md §10): a task adding its
+ * phase times without the lock no longer compiles on Clang.
+ */
+struct SuiteTimingAccumulator
+{
+    util::Mutex mutex;
+    SuiteTiming totals COPRA_GUARDED_BY(mutex);
+
+    /** Fold one completed experiment's phase times into the totals. */
+    void
+    add(const core::PhaseTimes &phases, uint64_t branches)
+    {
+        util::MutexLock lock(mutex);
+        totals.traceSeconds += phases.traceSeconds;
+        totals.predictorSeconds += phases.predictorSeconds;
+        totals.oracleSeconds += phases.oracleSeconds;
+        totals.dynamicBranches += branches;
+    }
+
+    /** Snapshot the totals (taken after the fan-out has joined). */
+    SuiteTiming
+    snapshot()
+    {
+        util::MutexLock lock(mutex);
+        return totals;
+    }
+};
+
+/**
  * Run @p producer over every benchmark of the suite concurrently and
  * return the produced rows in suite order (deterministic regardless of
  * thread count or scheduling: each task owns its BenchmarkExperiment
@@ -132,22 +164,17 @@ runSuite(const BenchOptions &opts, SuiteTiming *timing,
     const std::vector<std::string> &names = workload::benchmarkNames();
     std::vector<Row> rows(names.size());
 
-    std::mutex timing_mutex;
+    SuiteTimingAccumulator accumulator;
     auto start = std::chrono::steady_clock::now();
     parallelFor(globalPool(), names.size(), [&](size_t i) {
         core::BenchmarkExperiment experiment(names[i], opts.config);
         rows[i] = producer(experiment);
-        if (timing) {
-            const core::PhaseTimes &phases = experiment.phaseTimes();
-            std::lock_guard<std::mutex> lock(timing_mutex);
-            timing->traceSeconds += phases.traceSeconds;
-            timing->predictorSeconds += phases.predictorSeconds;
-            timing->oracleSeconds += phases.oracleSeconds;
-            timing->dynamicBranches +=
-                experiment.trace().conditionalCount();
-        }
+        if (timing)
+            accumulator.add(experiment.phaseTimes(),
+                            experiment.trace().conditionalCount());
     });
     if (timing) {
+        *timing = accumulator.snapshot();
         timing->wallSeconds = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start).count();
     }

@@ -4,6 +4,14 @@
  * tables and figures for one benchmark, with shared intermediate results
  * (trace, ledgers, oracle, classifier) computed lazily and exactly once.
  * The bench binaries are thin wrappers over this layer.
+ *
+ * Concurrency contract (DESIGN.md §10): a BenchmarkExperiment is
+ * task-confined — the lazy getters mutate the cached optionals without
+ * locking, so one instance must never be shared across pool workers.
+ * The bench fan-out honors this by constructing one experiment per
+ * task; inside an experiment, precomputeLedgers() may itself shard
+ * across the pool, which is safe because each inner task writes only
+ * its own result slot before the single owning task installs them.
  */
 
 #pragma once

@@ -4,6 +4,14 @@
  * trace, producing aggregate results and per-branch ledgers. All
  * conditional branches are predicted; other control transfers are passed
  * through (they exist for path/backward bookkeeping in the analyses).
+ *
+ * Concurrency contract (DESIGN.md §10): the driver holds no shared
+ * mutable state of its own — runAllParallel shards by predictor index,
+ * each task owning its predictor, result slot, and ledger outright,
+ * with the trace shared strictly read-only. There is deliberately
+ * nothing here for a mutex to guard; the statically checked locking
+ * discipline lives in the pool (util/thread_pool.hpp) and the bench
+ * timing accumulator (bench_common.hpp) that feed this layer.
  */
 
 #pragma once

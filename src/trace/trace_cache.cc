@@ -115,6 +115,9 @@ namespace {
 
 // Cache config toggled once by CLI parsing before any simulation runs;
 // caching only short-circuits regeneration of byte-identical traces.
+// Lock-free by design: relaxed ordering is enough because the flag is
+// written before the pool fans out and the cached bytes it gates are
+// identical to regeneration (no data is published through the flag).
 // copra-lint: sanctioned-global(process-wide trace-cache on/off switch)
 std::atomic<bool> g_cache_enabled{false};
 

@@ -15,6 +15,14 @@
  * with the COPRA_CACHE_DIR environment variable. Stores are atomic
  * (temp file + rename), so concurrent writers of the same key — e.g.
  * parallel bench tasks — can never expose a half-written trace.
+ *
+ * Concurrency contract (DESIGN.md §10): a TraceCache is immutable
+ * after construction (dir_ is set once), so any number of pool workers
+ * may call load/store/loadOrGenerate on the same instance
+ * concurrently; cross-thread coordination happens entirely through
+ * the filesystem's atomic rename. The process-wide enable flag and
+ * the temp-file uniquifier are lock-free atomics — the only mutable
+ * globals here, both sanctioned and annotated in trace_cache.cc.
  */
 
 #pragma once

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Annotated synchronization primitives (DESIGN.md §10).
+ *
+ * std::mutex and std::lock_guard carry no Clang capability attributes,
+ * so -Wthread-safety cannot check code that uses them directly. These
+ * thin wrappers add the attributes and nothing else: Mutex is a
+ * std::mutex declared as a capability, MutexLock is the scoped guard
+ * the analysis can follow, and Mutex::wait() bridges to
+ * std::condition_variable without ever letting the capability escape
+ * unlabeled. All annotated shared state in the tree is guarded by
+ * these (see util/thread_annotations.hpp for the macro contract).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace copra::util {
+
+/** A std::mutex the thread-safety analysis can see. */
+class COPRA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() COPRA_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() COPRA_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    /**
+     * Block on @p cv until notified, atomically releasing and
+     * re-acquiring this mutex — the condition_variable protocol, made
+     * visible to the analysis: the caller must hold the mutex, and
+     * still holds it when wait() returns. Spurious wakeups are
+     * possible; call in a predicate-checking loop.
+     */
+    void
+    wait(std::condition_variable &cv) COPRA_REQUIRES(this)
+    {
+        // Adopt the already-held native mutex for the wait protocol,
+        // then release the unique_lock's ownership claim so the
+        // caller's guard remains the one true owner.
+        std::unique_lock<std::mutex> lock(mutex_, std::adopt_lock);
+        cv.wait(lock);
+        lock.release();
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** Scoped lock over a Mutex; the annotated std::lock_guard. */
+class COPRA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) COPRA_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() COPRA_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace copra::util

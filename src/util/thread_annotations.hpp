@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros (DESIGN.md §10).
+ *
+ * The parallel engine's locking discipline is a statically checked
+ * property: every piece of state shared between pool workers is
+ * declared COPRA_GUARDED_BY its mutex, every lock-taking function
+ * declares what it acquires, and a Clang build with
+ * -DCOPRA_THREAD_SAFETY=ON compiles the tree with
+ * `-Wthread-safety -Werror`, so an unguarded access is a build
+ * failure, not a maybe-TSan-catches-it runtime race.
+ *
+ * On compilers without the attributes (GCC) every macro expands to
+ * nothing, so the annotations are free documentation there; the CI
+ * clang job and the `thread_safety_negative` ctest keep them honest.
+ * Use the wrappers in util/sync.hpp (Mutex / MutexLock) rather than
+ * raw std::mutex for annotated state: the std types carry no
+ * capability attributes, so the analysis cannot see through them.
+ */
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define COPRA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COPRA_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define COPRA_CAPABILITY(name) COPRA_THREAD_ANNOTATION(capability(name))
+
+/** Marks an RAII type that acquires on construction, releases on
+ *  destruction (std::lock_guard-shaped). */
+#define COPRA_SCOPED_CAPABILITY COPRA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Declares that a member/global may only be touched while holding the
+ *  named capability. */
+#define COPRA_GUARDED_BY(x) COPRA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Like COPRA_GUARDED_BY, but for the data a pointer points at. */
+#define COPRA_PT_GUARDED_BY(x) COPRA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the capability (and does not release it). */
+#define COPRA_ACQUIRE(...) \
+    COPRA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases a capability acquired earlier. */
+#define COPRA_RELEASE(...) \
+    COPRA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function may only be called while holding the capability. */
+#define COPRA_REQUIRES(...) \
+    COPRA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function may only be called while NOT holding the capability
+ *  (deadlock prevention for self-locking entry points). */
+#define COPRA_EXCLUDES(...) \
+    COPRA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function tries to acquire; returns `ret` on success. */
+#define COPRA_TRY_ACQUIRE(ret, ...) \
+    COPRA_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define COPRA_RETURN_CAPABILITY(x) \
+    COPRA_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: body is deliberately invisible to the analysis.
+ *  Every use must carry a comment explaining why it is sound. */
+#define COPRA_NO_THREAD_SAFETY_ANALYSIS \
+    COPRA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -6,10 +6,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/env.hpp"
 #include "util/logging.hpp"
+#include "util/sync.hpp"
 
 namespace copra {
 
@@ -43,7 +45,7 @@ ThreadPool::~ThreadPool()
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stop_ = true;
     }
     available_.notify_all();
@@ -54,7 +56,7 @@ ThreadPool::~ThreadPool()
 size_t
 ThreadPool::pending() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queue_.size();
 }
 
@@ -62,7 +64,7 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         panicIf(stop_, "thread pool: submit after shutdown");
         queue_.push_back(std::move(task));
     }
@@ -76,9 +78,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            available_.wait(lock,
-                            [this]() { return stop_ || !queue_.empty(); });
+            util::MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty())
+                mutex_.wait(available_);
             // Drain remaining work even when stopping, so ~ThreadPool
             // never abandons a task whose future somebody holds.
             if (queue_.empty())
@@ -124,34 +126,54 @@ namespace {
 // never flow through it, only work items, so it cannot break
 // determinism; it exists exactly once so fork handlers can find it.
 // copra-lint: sanctioned-global(thread-pool singleton registry mutex)
-std::mutex g_pool_mutex;
+util::Mutex g_pool_mutex;
 // copra-lint: sanctioned-global(the thread-pool singleton itself)
-std::unique_ptr<ThreadPool> g_pool;
+std::unique_ptr<ThreadPool> g_pool COPRA_GUARDED_BY(g_pool_mutex);
 // copra-lint: sanctioned-global(one-shot pthread_atfork registration)
 std::once_flag g_atfork_once;
 
 /**
+ * The pthread_atfork protocol, spelled as named functions so each can
+ * declare its half of the acquire/release pair: prepare takes the
+ * registry mutex so the child's copy is never stuck locked, and both
+ * continuations release it on their side of the fork.
+ */
+void
+atforkPrepare() COPRA_ACQUIRE(g_pool_mutex)
+{
+    g_pool_mutex.lock();
+}
+
+void
+atforkParent() COPRA_RELEASE(g_pool_mutex)
+{
+    g_pool_mutex.unlock();
+}
+
+void
+atforkChild() COPRA_RELEASE(g_pool_mutex)
+{
+    // Leak the child's copy of the pool: it has no worker threads, and
+    // even destroying it would block in pthread_cond_destroy (the
+    // condvar's copied state still counts the parent's parked workers
+    // as waiters).
+    g_pool.release();
+    g_pool_mutex.unlock();
+}
+
+/**
  * A forked child inherits the global pool object but none of its worker
- * threads, and even destroying the copy is unsafe: glibc's
- * pthread_cond_destroy blocks until all waiters wake, and the condvar's
- * copied state still records the parent's parked workers as waiters.
+ * threads, and even destroying the copy is unsafe (see atforkChild).
  * (gtest death tests hit exactly this — fork, then exit(1) through the
  * static destructors.) So on fork we leak the child's copy; a child
  * that wants parallelism gets a fresh pool on its next globalPool()
- * call. The prepare/parent handlers hold the registry mutex across the
- * fork so the child's copy of it is never stuck locked.
+ * call.
  */
 void
 registerForkHandlers()
 {
     std::call_once(g_atfork_once, []() {
-        ::pthread_atfork(
-            []() { g_pool_mutex.lock(); },
-            []() { g_pool_mutex.unlock(); },
-            []() {
-                g_pool.release();
-                g_pool_mutex.unlock();
-            });
+        ::pthread_atfork(atforkPrepare, atforkParent, atforkChild);
     });
 }
 
@@ -161,9 +183,12 @@ ThreadPool &
 globalPool()
 {
     registerForkHandlers();
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    util::MutexLock lock(g_pool_mutex);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+    // The reference outlives the lock by design: the pointer itself is
+    // guarded (set-once-or-swap under the mutex), while the pool object
+    // is internally synchronized.
     return *g_pool;
 }
 
@@ -173,7 +198,7 @@ setGlobalPoolThreads(unsigned threads)
     registerForkHandlers();
     std::unique_ptr<ThreadPool> fresh =
         std::make_unique<ThreadPool>(threads);
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    util::MutexLock lock(g_pool_mutex);
     g_pool = std::move(fresh);
 }
 

@@ -31,6 +31,11 @@
  * global pool outright, because even destroying it would block
  * (pthread_cond_destroy waits for the parent's parked workers, which
  * the condvar's copied state still counts as waiters).
+ *
+ * Locking discipline (statically checked, DESIGN.md §10): the queue
+ * and stop flag are COPRA_GUARDED_BY(mutex_); a Clang build with
+ * -DCOPRA_THREAD_SAFETY=ON fails to compile if any new code touches
+ * them without holding the mutex.
  */
 
 #pragma once
@@ -40,10 +45,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace copra {
 
@@ -99,15 +106,18 @@ class ThreadPool
     bool inOwningProcess() const;
 
   private:
-    void enqueue(std::function<void()> task);
-    void workerLoop();
+    void enqueue(std::function<void()> task) COPRA_EXCLUDES(mutex_);
+    void workerLoop() COPRA_EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::condition_variable available_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::function<void()>> queue_ COPRA_GUARDED_BY(mutex_);
+    // workers_ and owner_pid_ are written only during construction,
+    // before any worker can observe them, and read-only afterwards;
+    // they need no guard.
     std::vector<std::thread> workers_;
     long owner_pid_ = 0;
-    bool stop_ = false;
+    bool stop_ COPRA_GUARDED_BY(mutex_) = false;
 };
 
 /**

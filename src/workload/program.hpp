@@ -14,6 +14,13 @@
  *  - Periodic / Markov condition variables: repeating and non-repeating
  *    pattern classes (paper §4.1.2-4.1.3).
  *  - Subroutine calls: call-site-dependent (in-path) behaviour.
+ *
+ * Concurrency contract (DESIGN.md §10): a Program is immutable once the
+ * builder finishes, and run() is const with every piece of runtime
+ * state (variables, condition sources, trip states, RNGs) owned by the
+ * per-call ExecContext — so one Program may generate traces from any
+ * number of pool workers concurrently. An ExecContext itself is
+ * task-confined and never crosses threads.
  */
 
 #pragma once

@@ -265,6 +265,136 @@ TEST(Suppression, RuleMismatchDoesNotSuppress)
         "int a = rand();\n"), "banned-api"), 1);
 }
 
+TEST(Layering, ModuleResolution)
+{
+    EXPECT_EQ(copra::lint::moduleOf("src/sim/driver.hpp"), "sim");
+    EXPECT_EQ(copra::lint::moduleOf("src/util/rng.cc"), "util");
+    EXPECT_EQ(copra::lint::moduleOf("tools/copra_lint/lint.hpp"),
+              "tools");
+    EXPECT_EQ(copra::lint::moduleOf("bench/bench_common.hpp"), "bench");
+    EXPECT_EQ(copra::lint::moduleOf("src/main.cc"), "");
+    EXPECT_EQ(copra::lint::includeModule("sim/driver.hpp"), "sim");
+    EXPECT_EQ(copra::lint::includeModule("copra_lint/lint.hpp"),
+              "tools");
+    EXPECT_EQ(copra::lint::includeModule("vector"), "");
+}
+
+TEST(Layering, DagAllowsDownwardOnly)
+{
+    using copra::lint::moduleAllowed;
+    EXPECT_TRUE(moduleAllowed("sim", "predictor"));
+    EXPECT_TRUE(moduleAllowed("core", "sim"));
+    EXPECT_TRUE(moduleAllowed("check", "core"));
+    EXPECT_TRUE(moduleAllowed("sim", "sim"));
+    EXPECT_TRUE(moduleAllowed("tests", "core"));
+    EXPECT_FALSE(moduleAllowed("sim", "core"));
+    EXPECT_FALSE(moduleAllowed("trace", "sim"));
+    EXPECT_FALSE(moduleAllowed("workload", "predictor"));
+    EXPECT_FALSE(moduleAllowed("predictor", "workload"));
+    // Sinks are below every src module.
+    EXPECT_FALSE(moduleAllowed("sim", "bench"));
+    // Unknown modules are never constrained.
+    EXPECT_TRUE(moduleAllowed("", "core"));
+    EXPECT_TRUE(moduleAllowed("sim", ""));
+}
+
+TEST(Layering, DirectBackEdgeFiresPerFile)
+{
+    EXPECT_EQ(countRule(run("src/trace/x.hpp",
+        "#pragma once\n"
+        "#include \"sim/driver.hpp\"\n"), "layering"), 1);
+    // Downward and sibling-to-lower edges stay legal.
+    EXPECT_EQ(countRule(run("src/core/x.cc",
+        "#include \"sim/driver.hpp\"\n"), "layering"), 0);
+    // Sinks may include anything.
+    EXPECT_EQ(countRule(run("tests/x.cc",
+        "#include \"core/experiments.hpp\"\n"), "layering"), 0);
+}
+
+TEST(Layering, AllowWithReasonSuppresses)
+{
+    EXPECT_EQ(countRule(run("src/trace/x.hpp",
+        "#pragma once\n"
+        "// copra-lint: allow(layering) -- transitional, tracked\n"
+        "#include \"sim/driver.hpp\"\n"), "layering"), 0);
+}
+
+TEST(Graph, TwoFileCycleReportsBothEdges)
+{
+    std::vector<FileScan> scans;
+    scans.push_back(scanSource("src/sim/a.hpp",
+        "#pragma once\n#include \"sim/b.hpp\"\n"));
+    scans.push_back(scanSource("src/sim/b.hpp",
+        "#pragma once\n#include \"sim/a.hpp\"\n"));
+    auto graph = copra::lint::buildIncludeGraph(scans);
+    auto findings = copra::lint::runGraphRules(scans, graph);
+    EXPECT_EQ(countRule(findings, "include-cycle"), 2);
+}
+
+TEST(Graph, AcyclicChainIsCycleClean)
+{
+    std::vector<FileScan> scans;
+    scans.push_back(scanSource("src/util/a.hpp", "#pragma once\n"));
+    scans.push_back(scanSource("src/trace/b.hpp",
+        "#pragma once\n#include \"util/a.hpp\"\n"));
+    scans.push_back(scanSource("src/sim/c.hpp",
+        "#pragma once\n#include \"trace/b.hpp\"\n"));
+    auto graph = copra::lint::buildIncludeGraph(scans);
+    auto findings = copra::lint::runGraphRules(scans, graph);
+    EXPECT_EQ(countRule(findings, "include-cycle"), 0);
+    EXPECT_EQ(countRule(findings, "layering"), 0);
+}
+
+TEST(Graph, IncludeThroughReportsTheChain)
+{
+    // top (sim) -> mid (sim, legal) -> leaf (core, forbidden for sim);
+    // mid's own back-edge is sanctioned, so only the includer fires.
+    std::vector<FileScan> scans;
+    scans.push_back(scanSource("src/core/leaf.hpp", "#pragma once\n"));
+    scans.push_back(scanSource("src/sim/mid.hpp",
+        "#pragma once\n"
+        "// copra-lint: allow(layering) -- sanctioned back-edge\n"
+        "#include \"core/leaf.hpp\"\n"));
+    scans.push_back(scanSource("src/sim/top.cc",
+        "#include \"sim/mid.hpp\"\n"));
+    auto graph = copra::lint::buildIncludeGraph(scans);
+    auto findings = copra::lint::runGraphRules(scans, graph);
+    ASSERT_EQ(countRule(findings, "layering"), 1);
+    const Finding &f = findings[0];
+    EXPECT_EQ(f.rel, "src/sim/top.cc");
+    EXPECT_EQ(f.line, 1);
+    EXPECT_NE(f.message.find("include-through"), std::string::npos);
+    EXPECT_NE(f.message.find(
+        "src/sim/top.cc -> src/sim/mid.hpp -> src/core/leaf.hpp"),
+        std::string::npos);
+}
+
+TEST(Graph, DotDumpClustersModulesAndMarksBackEdges)
+{
+    std::vector<FileScan> scans;
+    scans.push_back(scanSource("src/sim/a.hpp", "#pragma once\n"));
+    scans.push_back(scanSource("src/trace/bad.hpp",
+        "#pragma once\n#include \"sim/a.hpp\"\n"));
+    auto graph = copra::lint::buildIncludeGraph(scans);
+    std::string dot = copra::lint::graphToDot(graph);
+    EXPECT_NE(dot.find("digraph copra_includes"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_sim"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_trace"), std::string::npos);
+    EXPECT_NE(dot.find(
+        "\"src/trace/bad.hpp\" -> \"src/sim/a.hpp\" [color=red"),
+        std::string::npos);
+}
+
+TEST(Tree, MissingPathIsAHardError)
+{
+    auto tree = copra::lint::lintTreeFull(COPRA_LINT_REPO_ROOT,
+                                          {"no_such_dir"});
+    ASSERT_EQ(tree.errors.size(), 1u);
+    EXPECT_NE(tree.errors[0].find("no_such_dir"), std::string::npos);
+    EXPECT_NE(tree.errors[0].find("no such file or directory"),
+              std::string::npos);
+}
+
 TEST(SelfTest, PassesOnTheShippedCorpus)
 {
     std::string report;
@@ -283,9 +413,11 @@ TEST(SelfTest, FailsOnMissingCorpus)
 
 TEST(Tree, RepositoryLintsClean)
 {
-    auto findings = copra::lint::lintTree(
+    auto tree = copra::lint::lintTreeFull(
         COPRA_LINT_REPO_ROOT, {"src", "bench", "tests", "tools"});
-    for (const Finding &f : findings)
+    for (const std::string &e : tree.errors)
+        ADD_FAILURE() << "path error: " << e;
+    for (const Finding &f : tree.findings)
         ADD_FAILURE() << f.rel << ":" << f.line << ": [" << f.rule
                       << "] " << f.message;
 }

@@ -1,0 +1,16 @@
+#pragma once
+
+/**
+ * Corpus: the leaf of the include-through chain — a perfectly clean
+ * core header. It exists so src/sim/chain_mid.hpp has something real
+ * in a forbidden-for-sim module to resolve against.
+ */
+
+namespace copra::core {
+
+struct ChainLeaf
+{
+    int experiments = 0;
+};
+
+} // namespace copra::core

@@ -1,0 +1,22 @@
+#pragma once
+
+/**
+ * Corpus: the sanctioned middle of the include-through chain. The
+ * sim -> core edge below is a back-edge, but the allow() suppresses
+ * the per-file finding here — which is exactly what lets the graph
+ * pass prove its point: files that include THIS header still get an
+ * include-through finding, because suppression is local to the edge,
+ * not inherited by includers.
+ */
+
+// copra-lint: allow(layering) -- planted sanctioned back-edge
+#include "core/chain_leaf.hpp"
+
+namespace copra::sim {
+
+struct ChainMid
+{
+    core::ChainLeaf leaf;
+};
+
+} // namespace copra::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+/**
+ * Corpus: one half of a planted two-file include cycle. Each edge
+ * inside the cycle is reported on its own include line in its own
+ * file, so both halves carry an expectation.
+ */
+
+#include "sim/cycle_b.hpp"     // expect: include-cycle
+
+namespace copra::sim {
+
+struct CycleA
+{
+    int a = 0;
+};
+
+} // namespace copra::sim

@@ -1,0 +1,17 @@
+#pragma once
+
+/**
+ * Corpus: the other half of the planted include cycle; see
+ * src__sim__cycle_a.hpp.
+ */
+
+#include "sim/cycle_a.hpp"     // expect: include-cycle
+
+namespace copra::sim {
+
+struct CycleB
+{
+    int b = 0;
+};
+
+} // namespace copra::sim

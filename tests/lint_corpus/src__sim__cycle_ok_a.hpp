@@ -1,0 +1,19 @@
+#pragma once
+
+/**
+ * Corpus: a second planted cycle, this one fully sanctioned — every
+ * participating edge carries an allow(include-cycle), so no finding
+ * may surface. Exercises suppression of the graph-level rule.
+ */
+
+// copra-lint: allow(include-cycle) -- planted sanctioned cycle
+#include "sim/cycle_ok_b.hpp"
+
+namespace copra::sim {
+
+struct CycleOkA
+{
+    int a = 0;
+};
+
+} // namespace copra::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+/**
+ * Corpus: the other half of the sanctioned cycle; see
+ * src__sim__cycle_ok_a.hpp.
+ */
+
+// copra-lint: allow(include-cycle) -- planted sanctioned cycle
+#include "sim/cycle_ok_a.hpp"
+
+namespace copra::sim {
+
+struct CycleOkB
+{
+    int b = 0;
+};
+
+} // namespace copra::sim

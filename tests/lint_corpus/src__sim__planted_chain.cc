@@ -1,0 +1,18 @@
+/**
+ * Corpus: the victim of the include-through chain. The direct include
+ * below is legal (sim -> sim), but its closure reaches core through
+ * chain_mid's sanctioned back-edge, so the graph half of the layering
+ * rule must fire here with the full chain in the message.
+ */
+
+#include "sim/chain_mid.hpp"   // expect: layering
+
+namespace copra::sim {
+
+int
+chainDepth(const ChainMid &mid)
+{
+    return mid.leaf.experiments;
+}
+
+} // namespace copra::sim

@@ -1,0 +1,19 @@
+#pragma once
+
+/**
+ * Corpus: a direct layering back-edge — trace may depend on util only,
+ * so an include that lexically names a higher module must fire the
+ * per-file half of the layering rule on the include line.
+ */
+
+#include "sim/driver.hpp"      // expect: layering
+#include "util/counter.hpp"
+
+namespace copra::trace {
+
+struct PlantedLayering
+{
+    int depth = 0;
+};
+
+} // namespace copra::trace

@@ -9,7 +9,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -132,6 +135,83 @@ TEST(ParallelForDeath, RunsInlineInForkedChild)
             _exit(sum == 28 ? 0 : 1);
         },
         ::testing::ExitedWithCode(0), "");
+}
+
+TEST(ThreadPool, OversubscribedPoolCoversEveryIndexOnce)
+{
+    // Far more workers than cores: the static sharding must stay
+    // correct regardless of how the OS schedules them.
+    unsigned hw = std::thread::hardware_concurrency();
+    ThreadPool pool(4 * (hw ? hw : 1));
+    const size_t n = 2000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(pool, n, [&hits](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, PoolSurvivesThrowingTasksAndStaysUsable)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round)
+        EXPECT_THROW(parallelFor(pool, 64,
+                                 [](size_t i) {
+                                     if (i % 7 == 0)
+                                         throw std::runtime_error("x");
+                                 }),
+                     std::runtime_error);
+    std::atomic<int> counter{0};
+    parallelFor(pool, 64, [&counter](size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 64);
+}
+
+/** Scoped save/restore of COPRA_THREADS around the parsing tests. */
+class CopraThreadsEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *old = std::getenv("COPRA_THREADS");
+        had_ = old != nullptr;
+        saved_ = had_ ? old : "";
+    }
+
+    void
+    TearDown() override
+    {
+        if (had_)
+            ::setenv("COPRA_THREADS", saved_.c_str(), 1);
+        else
+            ::unsetenv("COPRA_THREADS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string saved_;
+};
+
+TEST_F(CopraThreadsEnv, PositiveValuesAreHonoured)
+{
+    ::setenv("COPRA_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    // Oversubscription is allowed: sharding never depends on the
+    // worker count matching the hardware.
+    ::setenv("COPRA_THREADS", "64", 1);
+    EXPECT_EQ(defaultThreadCount(), 64u);
+}
+
+TEST_F(CopraThreadsEnv, ZeroNegativeAndGarbageFallBackToHardware)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned fallback = hw ? hw : 1;
+    for (const char *bad : {"0", "-2", "abc", "4x", ""}) {
+        ::setenv("COPRA_THREADS", bad, 1);
+        EXPECT_EQ(defaultThreadCount(), fallback) << "value '" << bad
+                                                  << "'";
+    }
+    ::unsetenv("COPRA_THREADS");
+    EXPECT_EQ(defaultThreadCount(), fallback);
 }
 
 TEST(GlobalPool, ResizableAndUsable)

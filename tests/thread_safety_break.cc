@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deliberate lock-discipline violations, compiled only by the
+ * `thread_safety_negative` ctest entry (tests/thread_safety_negative.sh)
+ * — never part of any build target. A Clang compile with
+ * -Wthread-safety -Werror=thread-safety must reject every function
+ * below with a readable "requires holding mutex" diagnostic; if this
+ * file ever compiles cleanly there, the capability annotations in
+ * util/sync.hpp and util/thread_annotations.hpp have rotted to no-ops.
+ */
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace copra {
+
+/** The canonical annotated shared-state shape used across the tree. */
+class GuardedCounter
+{
+  public:
+    // PLANTED: writes guarded state with no lock held.
+    void
+    bumpUnguarded()
+    {
+        ++value_;
+    }
+
+    // PLANTED: declares the requirement but never takes the lock.
+    int
+    readWithoutAcquiring()
+    {
+        return peek();
+    }
+
+    // Correctly guarded — must NOT be diagnosed; keeps the test honest
+    // about rejecting the violations rather than the whole idiom.
+    void
+    bumpGuarded()
+    {
+        util::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+  private:
+    int
+    peek() COPRA_REQUIRES(mutex_)
+    {
+        return value_;
+    }
+
+    util::Mutex mutex_;
+    int value_ COPRA_GUARDED_BY(mutex_) = 0;
+};
+
+// PLANTED: releases a mutex the caller never acquired.
+void
+unbalancedRelease(util::Mutex &mutex)
+{
+    mutex.unlock();
+}
+
+} // namespace copra

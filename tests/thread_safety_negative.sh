@@ -1,0 +1,59 @@
+#!/bin/sh
+# Proves the thread-safety capability layer fails the build *readably*
+# when lock discipline is violated: compiles tests/thread_safety_break.cc
+# with -Wthread-safety -Werror=thread-safety, requires a nonzero exit
+# AND a "requires holding mutex" clause in the diagnostics. The mirror
+# of contracts_negative.cmake for the concurrency axis (DESIGN.md §10).
+#
+# Usage: thread_safety_negative.sh <compiler> <repo-root>
+#
+# -Wthread-safety is a Clang analysis; under a non-Clang compiler the
+# test exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE (the
+# CI clang job is the hard gate).
+
+set -u
+
+CXX="$1"
+SRC="$2"
+
+if ! "$CXX" -x c++ -std=c++20 -fsyntax-only -Wthread-safety \
+        /dev/null 2>/dev/null; then
+    echo "skipping: $CXX does not support -Wthread-safety (not Clang)"
+    exit 77
+fi
+
+diag=$("$CXX" -std=c++20 -fsyntax-only -Wthread-safety \
+    -Werror=thread-safety "-I$SRC/src" \
+    "$SRC/tests/thread_safety_break.cc" 2>&1)
+rc=$?
+
+if [ "$rc" -eq 0 ]; then
+    echo "thread_safety_break.cc compiled cleanly; the capability"
+    echo "annotations no longer reject unguarded access"
+    exit 1
+fi
+
+case "$diag" in
+  *"requires holding mutex"*) ;;
+  *)
+    echo "compilation failed but without the readable lock-discipline"
+    echo "message; diagnostics were:"
+    echo "$diag"
+    exit 1
+    ;;
+esac
+
+# The correctly guarded control must not be diagnosed: a checker that
+# rejects the idiom wholesale proves nothing about the violations.
+case "$diag" in
+  *bumpGuarded*)
+    echo "the correctly guarded control function was diagnosed too;"
+    echo "diagnostics were:"
+    echo "$diag"
+    exit 1
+    ;;
+esac
+
+echo "lock-discipline violations rejected with readable diagnostics," \
+     "as designed"
+exit 0

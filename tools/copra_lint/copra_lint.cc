@@ -1,14 +1,17 @@
 /**
  * @file
  * CLI for copra_lint. Exit codes: 0 clean, 1 findings (or self-test
- * mismatch), 2 usage error.
+ * mismatch), 2 usage error or missing/unreadable input path.
  *
  *   copra_lint --root . src bench tests tools   # the ctest gate
  *   copra_lint --root . --self-test tests/lint_corpus
+ *   copra_lint --root . --json src bench        # machine findings
+ *   copra_lint --root . --graph-dot includes.dot src
  *   copra_lint --list-rules
  */
 
-#include <cstring>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,10 +26,47 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--root DIR] [--self-test CORPUS_DIR] [--list-rules]\n"
-        << "       [PATH...]\n\n"
+        << "       [--json] [--graph-dot FILE] [PATH...]\n\n"
         << "Lints PATHs (default: src bench tests tools) relative to\n"
-        << "--root (default: .) against copra's determinism contract.\n";
+        << "--root (default: .) against copra's determinism contract\n"
+        << "and the module-layering DAG (DESIGN.md sections 9-10).\n"
+        << "--json emits findings as a JSON object on stdout;\n"
+        << "--graph-dot writes the include graph as Graphviz DOT to\n"
+        << "FILE ('-' for stdout). Missing or unreadable PATHs are a\n"
+        << "hard error (exit 2), never a silent skip.\n";
     return 2;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -36,8 +76,10 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string corpus;
+    std::string dotPath;
     std::vector<std::string> paths;
     bool listRules = false;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -45,6 +87,10 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--self-test" && i + 1 < argc) {
             corpus = argv[++i];
+        } else if (arg == "--graph-dot" && i + 1 < argc) {
+            dotPath = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--list-rules") {
             listRules = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -77,13 +123,52 @@ main(int argc, char **argv)
     if (paths.empty())
         paths = {"src", "bench", "tests", "tools"};
 
-    std::vector<copra::lint::Finding> findings =
-        copra::lint::lintTree(root, paths);
-    for (const copra::lint::Finding &f : findings)
+    copra::lint::TreeLint tree = copra::lint::lintTreeFull(root, paths);
+
+    // Input that could not be walked is a hard error: a linter that
+    // silently skips paths reports "clean" about code it never saw.
+    if (!tree.errors.empty()) {
+        for (const std::string &e : tree.errors)
+            std::cerr << "copra_lint: error: " << e << "\n";
+        return 2;
+    }
+
+    if (!dotPath.empty()) {
+        std::string dot = copra::lint::graphToDot(tree.graph);
+        if (dotPath == "-") {
+            std::cout << dot;
+        } else {
+            std::ofstream out(dotPath, std::ios::binary);
+            out << dot;
+            if (!out) {
+                std::cerr << "copra_lint: error: cannot write "
+                          << dotPath << "\n";
+                return 2;
+            }
+        }
+    }
+
+    if (json) {
+        std::cout << "{\"count\": " << tree.findings.size()
+                  << ", \"findings\": [";
+        for (size_t i = 0; i < tree.findings.size(); ++i) {
+            const copra::lint::Finding &f = tree.findings[i];
+            std::cout << (i ? ", " : "")
+                      << "{\"file\": \"" << jsonEscape(f.rel)
+                      << "\", \"line\": " << f.line
+                      << ", \"rule\": \"" << jsonEscape(f.rule)
+                      << "\", \"message\": \"" << jsonEscape(f.message)
+                      << "\"}";
+        }
+        std::cout << "]}\n";
+        return tree.findings.empty() ? 0 : 1;
+    }
+
+    for (const copra::lint::Finding &f : tree.findings)
         std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] "
                   << f.message << "\n";
-    if (!findings.empty()) {
-        std::cout << findings.size()
+    if (!tree.findings.empty()) {
+        std::cout << tree.findings.size()
                   << " finding(s); see DESIGN.md section 9 for the "
                      "suppression policy\n";
         return 1;

@@ -231,9 +231,12 @@ scanSource(const std::string &rel, const std::string &content)
                         (rest[0] == '<' || rest[0] == '"')) {
                         char closer = rest[0] == '<' ? '>' : '"';
                         size_t close = rest.find(closer, 1);
-                        if (close != std::string::npos)
-                            scan.includes.insert(
-                                rest.substr(1, close - 1));
+                        if (close != std::string::npos) {
+                            std::string target =
+                                rest.substr(1, close - 1);
+                            scan.includes.insert(target);
+                            scan.includeList.push_back({target, line});
+                        }
                     }
                 } else if (flat.rfind("pragma", 0) == 0 &&
                            trimmed(flat.substr(6)) == "once") {

@@ -47,6 +47,13 @@ struct Annotation
     std::string error;  ///< parser diagnostic for Malformed
 };
 
+/** One #include directive with its location. */
+struct Include
+{
+    std::string target; ///< include spelling, verbatim
+    int line = 0;
+};
+
 /** Lexed view of one source file, input to every rule. */
 struct FileScan
 {
@@ -55,6 +62,7 @@ struct FileScan
     std::vector<Token> tokens; ///< comments/strings/preproc stripped
     std::vector<Annotation> annotations;
     std::set<std::string> includes; ///< #include targets, verbatim
+    std::vector<Include> includeList; ///< same targets, with lines
     bool pragmaOnce = false;        ///< has a #pragma once line
     int guardLine = 0;              ///< line of a legacy ifndef guard, or 0
 };
@@ -112,10 +120,88 @@ std::vector<Finding> runRules(const FileScan &scan,
                               const UnorderedDecls &extra);
 
 /**
+ * Drop findings covered by an allow()/sanctioned-global annotation in
+ * `scan` (own line or the next). `annotation` findings are immune.
+ */
+std::vector<Finding> applySuppressions(const FileScan &scan,
+                                       std::vector<Finding> findings);
+
+// --- Module layering (DESIGN.md §10) --------------------------------
+
+/**
+ * Module of a repo-relative path: "util", "trace", "workload",
+ * "predictor", "sim", "core", "check" for src/<module>/...; "tools",
+ * "bench", "tests", "examples" for the sink trees; "" when the path
+ * belongs to no declared module.
+ */
+std::string moduleOf(const std::string &rel);
+
+/**
+ * Module an include spelling points at, resolved lexically:
+ * "sim/driver.hpp" -> "sim", "copra_lint/lint.hpp" -> "tools",
+ * "" for system headers and other non-module includes.
+ */
+std::string includeModule(const std::string &target);
+
+/**
+ * True when module `from` may depend on module `to` under the declared
+ * DAG: util -> trace -> {workload, predictor} -> sim -> core -> check,
+ * with tools/bench/tests/examples as sinks that may depend on
+ * anything. Self-dependency is always legal; unknown modules are never
+ * constrained.
+ */
+bool moduleAllowed(const std::string &from, const std::string &to);
+
+/**
+ * The file-level include graph of one lint run: edges from each
+ * scanned file to the scanned files its includes resolve to (system
+ * headers and unscanned files do not appear).
+ */
+struct IncludeGraph
+{
+    /** Adjacency: rel path -> resolved targets, include order. */
+    std::map<std::string, std::vector<Include>> edges;
+};
+
+/** Build the include graph over `scans` (targets resolved to rels). */
+IncludeGraph buildIncludeGraph(const std::vector<FileScan> &scans);
+
+/**
+ * Graph-level rules, run once per tree: `include-cycle` for file-level
+ * include cycles, and transitive `layering` ("include-through")
+ * findings for files whose include closure reaches a module their own
+ * module may not depend on through individually legal edges.
+ * Suppressions from the owning file apply; results are sorted.
+ */
+std::vector<Finding> runGraphRules(const std::vector<FileScan> &scans,
+                                   const IncludeGraph &graph);
+
+/** Render the include graph as Graphviz DOT, module-clustered;
+ *  DAG-violating edges are drawn red. */
+std::string graphToDot(const IncludeGraph &graph);
+
+/** Everything lintTreeFull learned about one tree. */
+struct TreeLint
+{
+    std::vector<Finding> findings;
+    IncludeGraph graph;
+    /** Missing or unreadable input paths — the caller must treat any
+     *  entry as a hard error, not a clean run. */
+    std::vector<std::string> errors;
+};
+
+/**
  * Lint a source tree rooted at `root`, restricted to `paths`
  * (root-relative directories or files). Resolves project includes so
- * cross-header unordered knowledge is available. Results are sorted.
+ * cross-header unordered knowledge is available, builds the include
+ * graph, and runs both the per-file and the graph-level rules.
+ * Results are sorted.
  */
+TreeLint lintTreeFull(const std::string &root,
+                      const std::vector<std::string> &paths);
+
+/** lintTreeFull, findings only (kept for existing callers; path
+ *  errors surface through lintTreeFull). */
 std::vector<Finding> lintTree(const std::string &root,
                               const std::vector<std::string> &paths);
 

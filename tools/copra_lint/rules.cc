@@ -389,9 +389,36 @@ ruleAnnotation(const FileScan &scan, std::vector<Finding> &out)
 }
 
 /**
+ * Rule layering, per-file half: a direct #include whose spelling
+ * already names a module the including file's module may not depend
+ * on (DESIGN.md §10). runGraphRules adds the resolution- and
+ * transitivity-aware findings this lexical check cannot see.
+ */
+void
+ruleLayering(const FileScan &scan, std::vector<Finding> &out)
+{
+    std::string from = moduleOf(scan.rel);
+    if (from.empty())
+        return;
+    for (const Include &inc : scan.includeList) {
+        std::string to = includeModule(inc.target);
+        if (to.empty() || moduleAllowed(from, to))
+            continue;
+        report(out, scan, inc.line, "layering",
+               "module '" + from + "' may not include '" + inc.target +
+               "' (module '" + to + "'); the DAG is util -> trace -> "
+               "{workload, predictor} -> sim -> core -> check "
+               "(DESIGN.md §10)");
+    }
+}
+
+} // namespace
+
+/**
  * Apply suppressions: an allow(rule) covers findings of that rule on
  * its own line and the next; sanctioned-global covers mutable-global
- * the same way. `annotation` findings cannot be suppressed.
+ * the same way. `annotation` findings cannot be suppressed. Public so
+ * the graph-level rules honour the owning file's annotations too.
  */
 std::vector<Finding>
 applySuppressions(const FileScan &scan, std::vector<Finding> findings)
@@ -419,12 +446,16 @@ applySuppressions(const FileScan &scan, std::vector<Finding> findings)
     return kept;
 }
 
-} // namespace
-
 std::vector<std::pair<std::string, std::string>>
 ruleCatalog()
 {
     return {
+        {"layering",
+         "src modules obey the DAG util -> trace -> {workload, "
+         "predictor} -> sim -> core -> check; tools/bench/tests/"
+         "examples are sinks"},
+        {"include-cycle",
+         "the file-level include graph is acyclic"},
         {"banned-api",
          "no rand/srand/time/clock/random_device/*_clock in src/{sim,"
          "predictor,core}; getenv only under src/util"},
@@ -502,6 +533,7 @@ runRules(const FileScan &scan, const UnorderedDecls &extra)
     ruleMutableGlobal(scan, out);
     ruleHeaderGuard(scan, out);
     ruleIncludeLite(scan, out);
+    ruleLayering(scan, out);
     out = applySuppressions(scan, std::move(out));
     ruleAnnotation(scan, out);
     std::sort(out.begin(), out.end());
@@ -534,8 +566,15 @@ skippedDir(const std::string &name)
         name == ".git" || name.rfind("build", 0) == 0;
 }
 
+/**
+ * Expand the requested paths to lintable files. A path that names
+ * neither a regular file nor a directory — or a directory the walk
+ * cannot read — lands in `errors`: a linter that silently skips its
+ * input reports "clean" about code it never saw.
+ */
 std::vector<fs::path>
-collectFiles(const fs::path &root, const std::vector<std::string> &paths)
+collectFiles(const fs::path &root, const std::vector<std::string> &paths,
+             std::vector<std::string> &errors)
 {
     std::vector<fs::path> files;
     for (const std::string &p : paths) {
@@ -545,17 +584,24 @@ collectFiles(const fs::path &root, const std::vector<std::string> &paths)
                 files.push_back(abs);
             continue;
         }
-        if (!fs::is_directory(abs))
+        if (!fs::is_directory(abs)) {
+            errors.push_back(p + ": no such file or directory (under "
+                             "root " + root.string() + ")");
             continue;
-        fs::recursive_directory_iterator it(abs), end;
-        for (; it != end; ++it) {
-            if (it->is_directory() &&
-                skippedDir(it->path().filename().string())) {
-                it.disable_recursion_pending();
-                continue;
+        }
+        try {
+            fs::recursive_directory_iterator it(abs), end;
+            for (; it != end; ++it) {
+                if (it->is_directory() &&
+                    skippedDir(it->path().filename().string())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file() && lintableFile(it->path()))
+                    files.push_back(it->path());
             }
-            if (it->is_regular_file() && lintableFile(it->path()))
-                files.push_back(it->path());
+        } catch (const fs::filesystem_error &err) {
+            errors.push_back(p + ": " + err.what());
         }
     }
     std::sort(files.begin(), files.end());
@@ -570,11 +616,14 @@ relPath(const fs::path &root, const fs::path &file)
 
 } // namespace
 
-std::vector<Finding>
-lintTree(const std::string &rootStr, const std::vector<std::string> &paths)
+TreeLint
+lintTreeFull(const std::string &rootStr,
+             const std::vector<std::string> &paths)
 {
     fs::path root(rootStr);
-    std::vector<fs::path> files = collectFiles(root, paths);
+    TreeLint result;
+    std::vector<fs::path> files =
+        collectFiles(root, paths, result.errors);
 
     // First pass: lex everything and harvest unordered declarations
     // per header, keyed by include spelling (e.g. "sim/ledger.hpp").
@@ -582,7 +631,15 @@ lintTree(const std::string &rootStr, const std::vector<std::string> &paths)
     std::map<std::string, UnorderedDecls> headerDecls;
     scans.reserve(files.size());
     for (const fs::path &file : files) {
-        FileScan scan = scanSource(relPath(root, file), readFile(file));
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            result.errors.push_back(relPath(root, file) +
+                                    ": unreadable");
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        FileScan scan = scanSource(relPath(root, file), buf.str());
         if (isHeader(scan.rel)) {
             UnorderedDecls decls;
             collectUnorderedDecls(scan, decls);
@@ -615,8 +672,23 @@ lintTree(const std::string &rootStr, const std::vector<std::string> &paths)
         std::vector<Finding> found = runRules(scan, extra);
         all.insert(all.end(), found.begin(), found.end());
     }
+
+    // Graph passes: include cycles and include-through layering over
+    // the resolved file-level include graph of everything scanned.
+    result.graph = buildIncludeGraph(scans);
+    std::vector<Finding> graphFindings =
+        runGraphRules(scans, result.graph);
+    all.insert(all.end(), graphFindings.begin(), graphFindings.end());
+
     std::sort(all.begin(), all.end());
-    return all;
+    result.findings = std::move(all);
+    return result;
+}
+
+std::vector<Finding>
+lintTree(const std::string &rootStr, const std::vector<std::string> &paths)
+{
+    return lintTreeFull(rootStr, paths).findings;
 }
 
 bool
@@ -640,47 +712,55 @@ selfTest(const std::string &rootStr, const std::string &corpus,
         return false;
     }
 
-    std::set<std::string> fired;      // rules seen firing as expected
-    std::set<std::string> suppressed; // rules exercised via allow()
-
+    // Corpus files carry their intended repo location in their name:
+    // `src__sim__planted.cc` lints as `src/sim/planted.cc`, so scoped
+    // rules see the directory they police — and corpus-internal
+    // includes resolve against these rels, so the graph rules are
+    // exercised on planted cycles and include-through chains too.
+    std::vector<FileScan> scans;
     for (const fs::path &file : files) {
-        // Corpus files carry their intended repo location in their
-        // name: `src__sim__planted.cc` lints as `src/sim/planted.cc`,
-        // so scoped rules see the directory they police.
         std::string rel = file.filename().string();
         size_t pos;
         while ((pos = rel.find("__")) != std::string::npos)
             rel.replace(pos, 2, "/");
+        scans.push_back(scanSource(rel, readFile(file)));
+    }
 
-        FileScan scan = scanSource(rel, readFile(file));
-        std::set<std::pair<int, std::string>> expected;
+    std::set<std::string> fired;      // rules seen firing as expected
+    std::set<std::string> suppressed; // rules exercised via allow()
+    std::map<std::string, std::set<std::pair<int, std::string>>>
+        expected, actual;
+
+    for (const FileScan &scan : scans) {
         for (const Annotation &ann : scan.annotations) {
             if (ann.kind == Annotation::Kind::Expect)
-                expected.insert({ann.line, ann.rule});
+                expected[scan.rel].insert({ann.line, ann.rule});
             if (ann.kind == Annotation::Kind::Allow)
                 suppressed.insert(ann.rule);
             if (ann.kind == Annotation::Kind::SanctionedGlobal)
                 suppressed.insert("mutable-global");
         }
-
-        std::set<std::pair<int, std::string>> actual;
         for (const Finding &f : runRules(scan, {}))
-            actual.insert({f.line, f.rule});
+            actual[scan.rel].insert({f.line, f.rule});
+    }
+    for (const Finding &f : runGraphRules(scans, buildIncludeGraph(scans)))
+        actual[f.rel].insert({f.line, f.rule});
 
-        for (const auto &[line, rule] : expected) {
-            if (actual.count({line, rule})) {
+    for (const FileScan &scan : scans) {
+        for (const auto &[line, rule] : expected[scan.rel]) {
+            if (actual[scan.rel].count({line, rule})) {
                 fired.insert(rule);
             } else {
                 ok = false;
-                log << file.filename().string() << ":" << line
-                    << ": expected " << rule << " did not fire\n";
+                log << scan.rel << ":" << line << ": expected " << rule
+                    << " did not fire\n";
             }
         }
-        for (const auto &[line, rule] : actual) {
-            if (!expected.count({line, rule})) {
+        for (const auto &[line, rule] : actual[scan.rel]) {
+            if (!expected[scan.rel].count({line, rule})) {
                 ok = false;
-                log << file.filename().string() << ":" << line
-                    << ": unexpected " << rule << " finding\n";
+                log << scan.rel << ":" << line << ": unexpected "
+                    << rule << " finding\n";
             }
         }
     }
