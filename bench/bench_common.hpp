@@ -32,8 +32,12 @@
 #include <vector>
 
 #include "core/experiments.hpp"
+#include "obs/instruments.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace_cache.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +53,10 @@ struct BenchOptions
     uint64_t threads = 0;     //!< worker threads (0 = auto)
     bool noTraceCache = false;
     std::string resultsPath = "bench_results.json";
+    //! run-manifest path; "" disables (docs/OBSERVABILITY.md)
+    std::string metricsOut = util::envString("COPRA_METRICS_OUT", "");
+    bool metricsSummary = false; //!< print the instrument table (stderr)
+    std::string argvLine;        //!< reconstructed command line
 
     /**
      * Parse argv; returns false if the program should exit (e.g.
@@ -75,6 +83,11 @@ struct BenchOptions
                         ".copra-cache/ ($COPRA_CACHE_DIR)");
         options.addString("results", &resultsPath,
                           "bench_results.json path (empty = skip)");
+        options.addString("metrics-out", &metricsOut,
+                          "write a run-manifest JSON here "
+                          "($COPRA_METRICS_OUT; empty = off)");
+        options.addFlag("metrics-summary", &metricsSummary,
+                        "print non-zero telemetry instruments to stderr");
         uint64_t depth = config.historyDepth;
         uint64_t pool = config.candidatePool;
         options.addUint("depth", &depth, "history window depth n");
@@ -86,8 +99,16 @@ struct BenchOptions
         config.historyDepth = static_cast<unsigned>(depth);
         config.candidatePool = static_cast<unsigned>(pool);
 
+        std::ostringstream line;
+        for (int i = 1; i < argc; ++i)
+            line << (i > 1 ? " " : "") << argv[i];
+        argvLine = line.str();
+
         setGlobalPoolThreads(static_cast<unsigned>(threads));
         trace::setTraceCacheEnabled(!noTraceCache);
+        // Telemetry before any simulation work, so every instrument
+        // sees the whole run; recording stays off unless requested.
+        obs::setEnabled(!metricsOut.empty() || metricsSummary);
         return true;
     }
 };
@@ -267,6 +288,23 @@ reportTiming(const char *artifact, const BenchOptions &opts,
                  branches_per_sec);
     if (!opts.resultsPath.empty())
         appendBenchResult(opts.resultsPath, artifact, opts, timing);
+
+    if (!obs::enabled())
+        return;
+    obs::observe(obs::ids().benchSuiteWallSeconds, timing.wallSeconds);
+    obs::gaugeMax(obs::ids().poolWorkerCount, globalPool().size());
+    obs::RunInfo info;
+    info.tool = artifact;
+    info.args = opts.argvLine;
+    info.seed = opts.config.seed;
+    info.threads = globalPool().size();
+    if (!opts.metricsOut.empty())
+        obs::writeManifest(opts.metricsOut, info);
+    if (opts.metricsSummary)
+        std::fputs(
+            obs::renderSummary(obs::Registry::instance().snapshot())
+                .c_str(),
+            stderr);
 }
 
 } // namespace copra::bench

@@ -23,10 +23,15 @@
 #include <filesystem>
 #include <fstream>
 
+#include <sstream>
+
 #include "check/differential.hpp"
 #include "check/fuzz.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -130,8 +135,17 @@ main(int argc, char **argv)
                    "report raw failing traces without shrinking");
     parser.addFlag("no-parallel", &no_parallel,
                    "skip the sim::runAllParallel comparison path");
+    std::string metrics_out =
+        util::envString("COPRA_METRICS_OUT", "");
+    bool metrics_summary = false;
+    parser.addString("metrics-out", &metrics_out,
+                     "write a run-manifest JSON here "
+                     "($COPRA_METRICS_OUT; empty = off)");
+    parser.addFlag("metrics-summary", &metrics_summary,
+                   "print non-zero telemetry instruments to stderr");
     if (!parser.parse(argc, argv))
         return 0;
+    obs::setEnabled(!metrics_out.empty() || metrics_summary);
 
     options.traces = traces;
     options.conditionals = branches;
@@ -166,6 +180,25 @@ main(int argc, char **argv)
     if (!repro_dir.empty()) {
         for (const check::SuiteFailure &failure : report.failures)
             dumpReproducer(repro_dir, failure);
+    }
+
+    if (obs::enabled()) {
+        std::ostringstream line;
+        for (int i = 1; i < argc; ++i)
+            line << (i > 1 ? " " : "") << argv[i];
+        obs::RunInfo info;
+        info.tool = "copra_check";
+        info.args = line.str();
+        info.seed = options.seedBase;
+        info.threads = 0;
+        if (!metrics_out.empty())
+            obs::writeManifest(metrics_out, info);
+        if (metrics_summary)
+            std::fputs(
+                obs::renderSummary(
+                    obs::Registry::instance().snapshot())
+                    .c_str(),
+                stderr);
     }
     return report.ok() ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 
 #include "check/fuzz.hpp"
 #include "check/ref_models.hpp"
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "predictor/bimodal.hpp"
 #include "predictor/block_pattern.hpp"
 #include "predictor/fixed_pattern.hpp"
@@ -245,6 +247,7 @@ minimizeTrace(const Trace &trace,
                              records.begin() +
                                  static_cast<ptrdiff_t>(pos + len),
                              records.end());
+            obs::count(obs::ids().checkDiffShrinkSteps);
             if (still_fails(rebuild(trace, candidate))) {
                 records = std::move(candidate);
                 removed = true;
@@ -355,12 +358,16 @@ runCheckSuite(const SuiteOptions &options,
         uint64_t seed = options.seedBase + t;
         Trace trace = fuzzTrace(seed, options.conditionals);
         ++report.tracesRun;
+        obs::count(obs::ids().checkDiffTraces);
         for (const CheckPair &pair : pairs) {
             ++report.comparisons;
+            obs::count(obs::ids().checkDiffComparisons);
             DiffResult diff =
                 diffPair(trace, pair, options.checkParallel);
             if (diff.ok())
                 continue;
+            obs::count(obs::ids().checkDiffMismatches,
+                       diff.mismatches.size());
             SuiteFailure failure;
             failure.pair = pair.name;
             failure.seed = seed;

@@ -1,7 +1,7 @@
 #include "core/experiments.hpp"
 
-#include <chrono>
-
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "predictor/interference_free.hpp"
 #include "predictor/two_level.hpp"
 #include "sim/driver.hpp"
@@ -12,29 +12,35 @@ namespace copra::core {
 
 namespace {
 
-// Timing-only code: phase durations go to stderr/bench_results.json,
-// never into simulation results or stdout (DESIGN.md §7).
-// copra-lint: allow(banned-api) -- wall-clock phase timing, not simulation-visible
-using Clock = std::chrono::steady_clock;
+// Phase timing now goes through obs::PhaseTimer, which both feeds the
+// per-phase wall/CPU histograms and accumulates into the PhaseTimes
+// field the bench timing= line reports. Durations go to stderr and run
+// manifests, never into simulation results or stdout (DESIGN.md §7).
 
-/** Adds the elapsed lifetime of the guard to a PhaseTimes field. */
-class PhaseGuard
+/** Wall+CPU phase guard for the trace-build phase. */
+obs::PhaseTimer
+traceGuard(PhaseTimes &times)
 {
-  public:
-    explicit PhaseGuard(double &sink)
-        : sink_(sink), start_(Clock::now())
-    {
-    }
-    ~PhaseGuard()
-    {
-        sink_ += std::chrono::duration<double>(Clock::now() - start_)
-            .count();
-    }
+    return {obs::ids().simPhaseTraceSeconds,
+            obs::ids().simPhaseTraceCpuSeconds, &times.traceSeconds};
+}
 
-  private:
-    double &sink_;
-    Clock::time_point start_;
-};
+/** Wall+CPU phase guard for the predictor-simulation phase. */
+obs::PhaseTimer
+predictorGuard(PhaseTimes &times)
+{
+    return {obs::ids().simPhasePredictorSeconds,
+            obs::ids().simPhasePredictorCpuSeconds,
+            &times.predictorSeconds};
+}
+
+/** Wall+CPU phase guard for the oracle/classifier phase. */
+obs::PhaseTimer
+oracleGuard(PhaseTimes &times)
+{
+    return {obs::ids().simPhaseOracleSeconds,
+            obs::ids().simPhaseOracleCpuSeconds, &times.oracleSeconds};
+}
 
 } // namespace
 
@@ -55,7 +61,7 @@ BenchmarkExperiment::BenchmarkExperiment(const std::string &name,
                                          const ExperimentConfig &config)
     : name_(name), config_(config)
 {
-    PhaseGuard guard(times_.traceSeconds);
+    obs::PhaseTimer guard = traceGuard(times_);
     trace_ = makeExperimentTrace(name, config);
 }
 
@@ -77,7 +83,7 @@ const sim::Ledger &
 BenchmarkExperiment::gshareLedger()
 {
     if (!gshare_) {
-        PhaseGuard guard(times_.predictorSeconds);
+        obs::PhaseTimer guard = predictorGuard(times_);
         predictor::TwoLevel pred(
             predictor::TwoLevelConfig::gshare(config_.gshareHistory));
         gshare_.emplace();
@@ -90,7 +96,7 @@ const sim::Ledger &
 BenchmarkExperiment::pasLedger()
 {
     if (!pas_) {
-        PhaseGuard guard(times_.predictorSeconds);
+        obs::PhaseTimer guard = predictorGuard(times_);
         predictor::TwoLevel pred(predictor::TwoLevelConfig::pas(
             config_.pasHistory, config_.pasBhtBits, config_.pasSelectBits));
         pas_.emplace();
@@ -103,7 +109,7 @@ const sim::Ledger &
 BenchmarkExperiment::ifGshareLedger()
 {
     if (!ifGshare_) {
-        PhaseGuard guard(times_.predictorSeconds);
+        obs::PhaseTimer guard = predictorGuard(times_);
         predictor::IfGshare pred(config_.gshareHistory);
         ifGshare_.emplace();
         sim::run(trace_, pred, &*ifGshare_);
@@ -139,7 +145,7 @@ BenchmarkExperiment::precomputeLedgers()
     for (auto &pred : owned)
         preds.push_back(pred.get());
 
-    PhaseGuard guard(times_.predictorSeconds);
+    obs::PhaseTimer guard = predictorGuard(times_);
     std::vector<sim::Ledger> ledgers;
     sim::runAllParallel(trace_, preds, &ledgers);
     for (size_t i = 0; i < sinks.size(); ++i)
@@ -158,7 +164,7 @@ const SelectiveOracle &
 BenchmarkExperiment::oracle()
 {
     if (!oracle_) {
-        PhaseGuard guard(times_.oracleSeconds);
+        obs::PhaseTimer guard = oracleGuard(times_);
         OracleConfig oc;
         oc.historyDepth = config_.historyDepth;
         oc.candidatePool = config_.candidatePool;
@@ -173,7 +179,7 @@ const PaClassifier &
 BenchmarkExperiment::classifier()
 {
     if (!classifier_) {
-        PhaseGuard guard(times_.oracleSeconds);
+        obs::PhaseTimer guard = oracleGuard(times_);
         classifier_ =
             std::make_unique<PaClassifier>(trace_, config_.ifPasHistory);
     }

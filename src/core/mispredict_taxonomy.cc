@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
@@ -88,6 +90,20 @@ classifyMispredicts(const trace::Trace &trace, unsigned history_bits)
         last_writer[index] = context;
         history.push(rec.taken);
     }
+
+    // Batched outside the per-branch loop: one counter add per cause
+    // per classified trace.
+    auto causeCount = [&breakdown](MispredictCause cause) {
+        return breakdown.byCause[static_cast<size_t>(cause)];
+    };
+    obs::count(obs::ids().simTaxonomyCold,
+               causeCount(MispredictCause::Cold));
+    obs::count(obs::ids().simTaxonomyInterference,
+               causeCount(MispredictCause::Interference));
+    obs::count(obs::ids().simTaxonomyTraining,
+               causeCount(MispredictCause::Training));
+    obs::count(obs::ids().simTaxonomyNoise,
+               causeCount(MispredictCause::Noise));
     return breakdown;
 }
 

@@ -1,0 +1,527 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace copra::obs {
+
+Json
+Json::makeBool(bool b)
+{
+    Json j;
+    j.type_ = Type::Bool;
+    j.bool_ = b;
+    return j;
+}
+
+Json
+Json::makeNumber(double n)
+{
+    Json j;
+    j.type_ = Type::Number;
+    j.num_ = n;
+    return j;
+}
+
+Json
+Json::makeString(std::string s)
+{
+    Json j;
+    j.type_ = Type::String;
+    j.str_ = std::move(s);
+    return j;
+}
+
+Json
+Json::makeArray()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::makeObject()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+namespace {
+
+[[noreturn]] void
+typeError(const char *want)
+{
+    throw std::runtime_error(std::string("json: value is not a ") + want);
+}
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        typeError("bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    if (type_ != Type::Number)
+        typeError("number");
+    return num_;
+}
+
+uint64_t
+Json::asUint() const
+{
+    double n = asNumber();
+    if (n < 0)
+        throw std::runtime_error("json: negative value where an "
+                                 "unsigned count was expected");
+    return static_cast<uint64_t>(std::llround(n));
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        typeError("string");
+    return str_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        typeError("array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::entries() const
+{
+    if (type_ != Type::Object)
+        typeError("object");
+    return obj_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *found = find(key);
+    if (found == nullptr)
+        throw std::runtime_error("json: missing key '" + key + "'");
+    return *found;
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ != Type::Array)
+        typeError("array");
+    arr_.push_back(std::move(value));
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    if (type_ != Type::Object)
+        typeError("object");
+    obj_.emplace_back(key, std::move(value));
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trip decimal for a double; integers print as such. */
+std::string
+numberToString(double n)
+{
+    if (std::isnan(n) || std::isinf(n))
+        return "0"; // JSON has no non-finite numbers
+    double rounded = std::nearbyint(n);
+    if (rounded == n && std::fabs(n) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", n);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    // Trim to the shortest representation that still round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, n);
+        if (std::strtod(shorter, nullptr) == n)
+            return shorter;
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        out += numberToString(num_);
+        break;
+    case Type::String:
+        out += jsonQuote(str_);
+        break;
+    case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            out += jsonQuote(obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent RFC 8259 parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : text_(text)
+    {
+        // Tolerate (skip) a UTF-8 BOM.
+        if (text_.size() >= 3 && text_.compare(0, 3, "\xef\xbb\xbf") == 0)
+            pos_ = 3;
+    }
+
+    Json
+    document()
+    {
+        Json value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing content after the document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("json: " + what + " at byte " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *literal)
+    {
+        size_t len = std::string(literal).size();
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipSpace();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json::makeString(parseString());
+        if (consume("true"))
+            return Json::makeBool(true);
+        if (consume("false"))
+            return Json::makeBool(false);
+        if (consume("null"))
+            return Json::makeNull();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail("unexpected character");
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::makeObject();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            obj.set(key, parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::makeArray();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20)
+                    fail("unescaped control character in string");
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out += e;
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // passed through as two 3-byte sequences; the manifests
+                // never contain astral-plane text).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        std::string literal = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double value = std::strtod(literal.c_str(), &end);
+        if (end == literal.c_str() || *end != '\0')
+            fail("malformed number '" + literal + "'");
+        return Json::makeNumber(value);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace copra::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A minimal JSON value, parser and writer — just enough for the run
+ * manifests and copra_report, with zero external dependencies (the
+ * container deliberately carries no JSON library).
+ *
+ * Deliberate restrictions: numbers are doubles (manifest counters fit
+ * exactly up to 2^53, far beyond any real run), object keys keep
+ * insertion order (so written manifests diff cleanly), and the parser
+ * rejects everything RFC 8259 rejects except it ignores a UTF-8 BOM.
+ * Parse errors throw std::runtime_error with a byte offset.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace copra::obs {
+
+/** One JSON value of any type. */
+class Json
+{
+  public:
+    enum class Type : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Json() = default;
+    static Json makeNull() { return Json(); }
+    static Json makeBool(bool b);
+    static Json makeNumber(double n);
+    static Json makeString(std::string s);
+    static Json makeArray();
+    static Json makeObject();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; throw std::runtime_error on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() rounded to uint64 (throws when negative). */
+    uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<Json> &items() const;
+
+    /** Object entries in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &entries() const;
+
+    /** Object member by key, or nullptr when absent / not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Object member by key; throws when absent. */
+    const Json &at(const std::string &key) const;
+
+    /** Append to an array value. */
+    void push(Json value);
+
+    /** Set an object member (appends; keys are expected unique). */
+    void set(const std::string &key, Json value);
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse @p text as one JSON document (throws on any error). */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Escape @p s as a JSON string literal (with quotes). */
+std::string jsonQuote(const std::string &s);
+
+} // namespace copra::obs

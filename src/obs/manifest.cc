@@ -1,0 +1,118 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/build_info.hpp"
+#include "util/logging.hpp"
+
+namespace copra::obs {
+
+Json
+buildManifest(const RunInfo &info, const Snapshot &snapshot)
+{
+    Json root = Json::makeObject();
+    root.set("schema_version",
+             Json::makeNumber(kManifestSchemaVersion));
+    root.set("tool", Json::makeString(info.tool));
+    if (!info.args.empty())
+        root.set("args", Json::makeString(info.args));
+    root.set("git_sha", Json::makeString(kBuildGitSha));
+    root.set("build_type", Json::makeString(kBuildType));
+    root.set("compiler", Json::makeString(kBuildCompiler));
+    root.set("build_flags", Json::makeString(kBuildFlags));
+    root.set("threads", Json::makeNumber(info.threads));
+    root.set("seed", Json::makeNumber(static_cast<double>(info.seed)));
+
+    const Registry &registry = Registry::instance();
+    Json instruments = Json::makeArray();
+    for (const InstrumentValue &value : snapshot.values) {
+        const InstrumentDesc &desc = registry.describe(value.id);
+        Json entry = Json::makeObject();
+        entry.set("key", Json::makeString(desc.key));
+        entry.set("type", Json::makeString(kindName(desc.kind)));
+        entry.set("unit", Json::makeString(desc.unit));
+        if (desc.kind == Kind::Histogram) {
+            entry.set("count", Json::makeNumber(
+                                   static_cast<double>(value.count)));
+            entry.set("sum", Json::makeNumber(value.sum));
+            entry.set("min", Json::makeNumber(value.min));
+            entry.set("max", Json::makeNumber(value.max));
+        } else {
+            entry.set("value", Json::makeNumber(
+                                   static_cast<double>(value.scalar)));
+        }
+        instruments.push(std::move(entry));
+    }
+    root.set("instruments", std::move(instruments));
+    return root;
+}
+
+bool
+writeManifest(const std::string &path, const RunInfo &info)
+{
+    Snapshot snapshot = Registry::instance().snapshot();
+    Json manifest = buildManifest(info, snapshot);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("metrics: cannot write manifest to " + path);
+        return false;
+    }
+    out << manifest.dump(2);
+    if (!out.good()) {
+        warn("metrics: short write to " + path);
+        return false;
+    }
+    return true;
+}
+
+Json
+loadManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open manifest " + path);
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    Json manifest = Json::parse(slurp.str());
+    const Json *version = manifest.find("schema_version");
+    if (version == nullptr || !version->isNumber())
+        throw std::runtime_error(path +
+                                 " is not a run manifest (no "
+                                 "schema_version)");
+    return manifest;
+}
+
+std::string
+renderSummary(const Snapshot &snapshot)
+{
+    const Registry &registry = Registry::instance();
+    std::ostringstream out;
+    out << "metrics summary (non-zero instruments)\n";
+    char line[256];
+    for (const InstrumentValue &value : snapshot.values) {
+        const InstrumentDesc &desc = registry.describe(value.id);
+        if (desc.kind == Kind::Histogram) {
+            if (value.count == 0)
+                continue;
+            std::snprintf(line, sizeof(line),
+                          "  %-34s %12llu samples  sum=%-12.6g "
+                          "min=%-10.4g max=%-10.4g [%s]\n",
+                          desc.key,
+                          static_cast<unsigned long long>(value.count),
+                          value.sum, value.min, value.max, desc.unit);
+        } else {
+            if (value.scalar == 0)
+                continue;
+            std::snprintf(
+                line, sizeof(line), "  %-34s %12llu %s\n", desc.key,
+                static_cast<unsigned long long>(value.scalar),
+                desc.unit);
+        }
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace copra::obs

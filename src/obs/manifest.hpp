@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Run manifests: the versioned JSON record one instrumented process
+ * leaves behind (--metrics-out / COPRA_METRICS_OUT). A manifest
+ * captures enough provenance to compare two runs honestly — git SHA,
+ * build type and flags, thread count, seed, tool name and arguments —
+ * plus the value of every registry instrument. The schema is
+ * docs/schema/run_manifest.schema.json; kManifestSchemaVersion bumps
+ * whenever a field changes meaning, and copra_report refuses to diff
+ * across schema versions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace copra::obs {
+
+/** Manifest format version (docs/schema/run_manifest.schema.json). */
+inline constexpr int kManifestSchemaVersion = 1;
+
+/** Provenance of the run being recorded. */
+struct RunInfo
+{
+    std::string tool;    //!< emitting binary, e.g. "table1_benchmarks"
+    std::string args;    //!< reconstructed command line (may be empty)
+    uint64_t seed = 0;   //!< workload seed
+    unsigned threads = 0; //!< worker threads in the global pool
+};
+
+/** Build @p snapshot (+ provenance) into a manifest JSON document. */
+Json buildManifest(const RunInfo &info, const Snapshot &snapshot);
+
+/**
+ * Snapshot the registry and write a manifest to @p path. Failures warn
+ * and return false instead of aborting the run — telemetry must never
+ * take down a simulation that already produced its results.
+ */
+bool writeManifest(const std::string &path, const RunInfo &info);
+
+/** Read and parse a manifest file (throws std::runtime_error). */
+Json loadManifest(const std::string &path);
+
+/**
+ * Render the non-zero instruments of @p snapshot as a human-readable
+ * aligned table (the --metrics-summary output; callers print it to
+ * stderr so stdout stays byte-identical).
+ */
+std::string renderSummary(const Snapshot &snapshot);
+
+} // namespace copra::obs

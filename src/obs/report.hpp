@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Manifest comparison and registry documentation rendering — the logic
+ * behind the copra_report CLI, kept in the library so tests can drive
+ * it without spawning processes.
+ *
+ * diffManifests() turns two run manifests into a Markdown regression
+ * report: a provenance header, a per-instrument table with absolute
+ * and relative deltas, and a call-out section for counters that moved
+ * beyond a threshold. renderRegistryDoc() walks the live instrument
+ * catalog and produces docs/METRICS.md, the self-documenting metrics
+ * reference a ctest gate keeps in sync with the code.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace copra::obs {
+
+/** Options of one manifest diff. */
+struct DiffOptions
+{
+    /** Relative change (fraction, e.g. 0.05 = 5%) beyond which a
+     * counter or histogram-sum move is called out as notable. */
+    double threshold = 0.05;
+};
+
+/**
+ * Render a Markdown regression report comparing @p before and @p after
+ * (both parsed run manifests). Throws std::runtime_error when either
+ * document is not a manifest or the schema versions differ.
+ */
+std::string diffManifests(const Json &before, const Json &after,
+                          const DiffOptions &options = {});
+
+/**
+ * Render docs/METRICS.md from the live instrument catalog: every
+ * instrument's key, type, unit, description and emitting module,
+ * grouped by module, plus the regeneration instructions.
+ */
+std::string renderRegistryDoc();
+
+} // namespace copra::obs

@@ -3,6 +3,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,6 +49,9 @@ run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
         result.dynamicBranches += count;
         i = end;
     }
+    obs::count(obs::ids().simRunBranches, result.dynamicBranches);
+    obs::count(obs::ids().simRunMispredicts,
+               result.dynamicBranches - result.correct);
     return result;
 }
 
@@ -80,6 +85,11 @@ runAll(const trace::Trace &trace,
             if (ledgers)
                 (*ledgers)[i].record(rec.pc, rec.taken, correct);
         }
+    }
+    for (const RunResult &r : results) {
+        obs::count(obs::ids().simRunBranches, r.dynamicBranches);
+        obs::count(obs::ids().simRunMispredicts,
+                   r.dynamicBranches - r.correct);
     }
     return results;
 }

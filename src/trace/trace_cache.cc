@@ -5,6 +5,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace_io.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
@@ -49,21 +51,34 @@ TraceCache::load(const TraceCacheKey &key) const
 {
     std::string path = pathFor(key);
     std::error_code ec;
-    if (!fs::exists(path, ec))
+    if (!fs::exists(path, ec)) {
+        obs::count(obs::ids().traceCacheMiss);
         return std::nullopt;
+    }
+    uint64_t bytes = fs::file_size(path, ec);
+    if (ec)
+        bytes = 0;
     try {
         Trace trace = loadBinary(path);
         if (trace.name() != key.benchmark) {
             warn("trace cache: entry " + path +
                  " is labeled '" + trace.name() + "', dropping it");
             fs::remove(path, ec);
+            obs::count(obs::ids().traceCacheEvict);
+            obs::count(obs::ids().traceCacheMiss);
             return std::nullopt;
         }
+        obs::count(obs::ids().traceCacheHit);
+        obs::count(obs::ids().traceCacheReadBytes, bytes);
+        obs::observe(obs::ids().traceCacheEntryBytes,
+                     static_cast<double>(bytes));
         return trace;
     } catch (const std::exception &e) {
         warn("trace cache: dropping unreadable entry " + path + " (" +
              e.what() + ")");
         fs::remove(path, ec);
+        obs::count(obs::ids().traceCacheEvict);
+        obs::count(obs::ids().traceCacheMiss);
         return std::nullopt;
     }
 }
@@ -96,6 +111,12 @@ TraceCache::store(const TraceCacheKey &key, const Trace &trace) const
         warn("trace cache: rename failed: " + ec.message());
         fs::remove(tmp, ec);
         return false;
+    }
+    uint64_t bytes = fs::file_size(pathFor(key), ec);
+    if (!ec) {
+        obs::count(obs::ids().traceCacheWriteBytes, bytes);
+        obs::observe(obs::ids().traceCacheEntryBytes,
+                     static_cast<double>(bytes));
     }
     return true;
 }

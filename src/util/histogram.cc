@@ -40,6 +40,17 @@ Histogram::fraction(unsigned i) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    panicIf(other.lo_ != lo_ || other.hi_ != hi_ ||
+                other.counts_.size() != counts_.size(),
+            "Histogram::merge on mismatched geometries");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+void
 Histogram::clear()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

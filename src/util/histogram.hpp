@@ -43,6 +43,21 @@ class Histogram
     /** Fraction of total weight in bin @p i (0 if empty histogram). */
     double fraction(unsigned i) const;
 
+    /** Lower bound of the covered interval. */
+    double lo() const { return lo_; }
+
+    /** Upper bound of the covered interval. */
+    double hi() const { return hi_; }
+
+    /**
+     * Fold @p other into this histogram bin by bin. Both histograms
+     * must share the same geometry (lo, hi, bins). Merging is
+     * associative and commutative — the property the observability
+     * registry's per-thread-merge determinism argument rests on
+     * (DESIGN.md §11) — because it is pure bin-wise addition.
+     */
+    void merge(const Histogram &other);
+
     /** Reset all counts. */
     void clear();
 

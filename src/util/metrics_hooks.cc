@@ -1,0 +1,29 @@
+#include "util/metrics_hooks.hpp"
+
+#include <atomic>
+
+namespace copra::util {
+
+namespace {
+
+// Written once when obs::setEnabled installs its listeners, read on
+// every pool event; relaxed is enough because the hooks only feed
+// monotonic telemetry counters, never simulation results.
+// copra-lint: sanctioned-global(telemetry hook installation point; results never flow through it)
+std::atomic<const PoolMetricsHooks *> g_pool_hooks{nullptr};
+
+} // namespace
+
+const PoolMetricsHooks *
+poolMetricsHooks()
+{
+    return g_pool_hooks.load(std::memory_order_relaxed);
+}
+
+void
+setPoolMetricsHooks(const PoolMetricsHooks *hooks)
+{
+    g_pool_hooks.store(hooks, std::memory_order_relaxed);
+}
+
+} // namespace copra::util

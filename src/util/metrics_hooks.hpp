@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The telemetry seam between util and the observability registry.
+ *
+ * The module DAG places obs *above* util (util -> obs -> trace -> ...,
+ * DESIGN.md §11), so util code — notably the thread pool — may not
+ * include obs headers. Instead, util publishes its events through this
+ * set of plain function pointers: obs installs implementations when
+ * telemetry is enabled, and until then the pool pays exactly one
+ * relaxed atomic load per event to discover there is nobody listening.
+ * The installer must provide pointers that stay valid for the rest of
+ * the process (obs uses function-scope statics).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace copra::util {
+
+/** Pool events a listener can subscribe to. Any pointer may be null. */
+struct PoolMetricsHooks
+{
+    /** A task was queued; @p queue_depth is the depth after the push. */
+    void (*taskQueued)(uint64_t queue_depth) = nullptr;
+
+    /** A task finished on a worker after @p busy_seconds of run time. */
+    void (*taskExecuted)(double busy_seconds) = nullptr;
+};
+
+/** The currently installed hooks, or nullptr when telemetry is off. */
+const PoolMetricsHooks *poolMetricsHooks();
+
+/**
+ * Install @p hooks (nullptr uninstalls). The pointed-to struct must
+ * outlive every subsequent pool operation.
+ */
+void setPoolMetricsHooks(const PoolMetricsHooks *hooks);
+
+} // namespace copra::util

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 
 #include "util/env.hpp"
 #include "util/logging.hpp"
+#include "util/metrics_hooks.hpp"
 #include "util/sync.hpp"
 
 namespace copra {
@@ -63,12 +65,17 @@ ThreadPool::pending() const
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    size_t depth;
     {
         util::MutexLock lock(mutex_);
         panicIf(stop_, "thread pool: submit after shutdown");
         queue_.push_back(std::move(task));
+        depth = queue_.size();
     }
     available_.notify_one();
+    if (const util::PoolMetricsHooks *hooks = util::poolMetricsHooks();
+        hooks != nullptr && hooks->taskQueued != nullptr)
+        hooks->taskQueued(depth);
 }
 
 void
@@ -88,7 +95,17 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        const util::PoolMetricsHooks *hooks = util::poolMetricsHooks();
+        if (hooks != nullptr && hooks->taskExecuted != nullptr) {
+            auto start = std::chrono::steady_clock::now();
+            task();
+            hooks->taskExecuted(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    start)
+                                    .count());
+        } else {
+            task();
+        }
     }
 }
 

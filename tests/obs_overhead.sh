@@ -1,0 +1,74 @@
+#!/bin/sh
+# The telemetry overhead contract (ISSUE: instrumented parallel engine
+# must stay within noise): one bench harness runs with metrics off and
+# with metrics on, and
+#   1. stdout must be byte-identical — telemetry writes only to stderr
+#      and files, never into results;
+#   2. the instrumented wall time (min over N runs, from the bench's
+#      own "timing= total=...s" stderr line) must be within 3% of the
+#      uninstrumented minimum, plus a small absolute slack so
+#      microsecond-scale runs don't turn scheduler jitter into a
+#      failure.
+#
+# Usage: obs_overhead.sh <bench-binary> [bench args...]
+
+set -eu
+
+BIN="$1"
+shift
+
+RUNS=3
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# Min-of-N total= seconds for one configuration; stdout of the last
+# run is preserved at $2 for the byte-identity check.
+measure() {
+    mode="$1"
+    out="$2"
+    shift 2
+    best=""
+    i=0
+    while [ "$i" -lt "$RUNS" ]; do
+        if [ "$mode" = on ]; then
+            "$BIN" "$@" --metrics-out "$DIR/manifest.json" \
+                > "$out" 2> "$DIR/err" || exit 1
+        else
+            "$BIN" "$@" > "$out" 2> "$DIR/err" || exit 1
+        fi
+        t=$(sed -n 's/^timing= total=\([0-9.]*\)s.*/\1/p' "$DIR/err")
+        if [ -z "$t" ]; then
+            echo "no timing= line on stderr" >&2
+            exit 1
+        fi
+        if [ -z "$best" ] || awk "BEGIN{exit !($t < $best)}"; then
+            best="$t"
+        fi
+        i=$((i + 1))
+    done
+    echo "$best"
+}
+
+BASE=$(measure off "$DIR/base.out" "$@")
+INSTR=$(measure on "$DIR/instr.out" "$@")
+
+if ! cmp -s "$DIR/base.out" "$DIR/instr.out"; then
+    echo "stdout differs between metrics-off and metrics-on runs:"
+    diff "$DIR/base.out" "$DIR/instr.out" || true
+    exit 1
+fi
+
+if [ ! -s "$DIR/manifest.json" ]; then
+    echo "metrics-on run wrote no manifest"
+    exit 1
+fi
+
+# Budget: 3% relative plus 20ms absolute slack (tiny suites measure
+# scheduler noise, not telemetry).
+if awk "BEGIN{exit !($INSTR > $BASE * 1.03 + 0.020)}"; then
+    echo "telemetry overhead too high: base=${BASE}s instrumented=${INSTR}s"
+    exit 1
+fi
+
+echo "ok: base=${BASE}s instrumented=${INSTR}s (stdout byte-identical)"
+exit 0

@@ -1,0 +1,61 @@
+#!/bin/sh
+# docs/PREDICTORS.md drift gate (the `docs_predictors_sync` ctest
+# entry): every factory spec name in knownPredictors()
+# (src/predictor/factory.cc) must appear as a spec in the doc's zoo
+# table, and every spec the table documents must exist in the factory.
+# Pure text cross-check — needs no build, so the CI docs job can run
+# it too.
+#
+# Usage: check_predictors_doc.sh [repo-root]
+
+set -eu
+
+ROOT="${1:-.}"
+FACTORY="$ROOT/src/predictor/factory.cc"
+DOC="$ROOT/docs/PREDICTORS.md"
+
+for f in "$FACTORY" "$DOC"; do
+    if [ ! -f "$f" ]; then
+        echo "check_predictors_doc: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+# The initializer list of knownPredictors() is the factory's contract.
+factory_names=$(sed -n '/^knownPredictors/,/^}/p' "$FACTORY" |
+    grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+
+if [ -z "$factory_names" ]; then
+    echo "check_predictors_doc: found no names in knownPredictors()" >&2
+    exit 2
+fi
+
+# Spec names from the zoo table: first cell of each `| \`spec\` |` row,
+# keeping the leading name of each backticked spec (specs look like
+# `name` or `name:key=value,...`). Rows without a spec start "| — ".
+doc_names=$(grep -E '^\| `' "$DOC" |
+    cut -d'|' -f2 |
+    grep -oE '`[a-z]+[^`]*`' |
+    sed -E 's/^`([a-z]+).*/\1/' | sort -u)
+
+status=0
+for name in $factory_names; do
+    if ! printf '%s\n' $doc_names | grep -qx "$name"; then
+        echo "factory predictor '$name' is missing from $DOC"
+        status=1
+    fi
+done
+for name in $doc_names; do
+    if ! printf '%s\n' $factory_names | grep -qx "$name"; then
+        echo "$DOC documents '$name', unknown to makePredictor()"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "docs/PREDICTORS.md is out of sync with src/predictor/factory.cc"
+    exit 1
+fi
+
+echo "ok: $(printf '%s\n' $factory_names | wc -l | tr -d ' ') factory predictors all documented"
+exit 0

@@ -31,12 +31,18 @@ namespace {
  */
 const std::map<std::string, std::set<std::string>> kModuleDeps = {
     {"util", {}},
-    {"trace", {"util"}},
-    {"workload", {"util", "trace"}},
-    {"predictor", {"util", "trace"}},
-    {"sim", {"util", "trace", "predictor"}},
-    {"core", {"util", "trace", "workload", "predictor", "sim"}},
-    {"check", {"util", "trace", "workload", "predictor", "sim", "core"}},
+    // obs sits directly above util (it reuses Histogram and the sync
+    // primitives) and below everything instrumented; util itself emits
+    // telemetry only through the function-pointer seam in
+    // util/metrics_hooks.hpp, never by including obs.
+    {"obs", {"util"}},
+    {"trace", {"util", "obs"}},
+    {"workload", {"util", "obs", "trace"}},
+    {"predictor", {"util", "obs", "trace"}},
+    {"sim", {"util", "obs", "trace", "predictor"}},
+    {"core", {"util", "obs", "trace", "workload", "predictor", "sim"}},
+    {"check",
+     {"util", "obs", "trace", "workload", "predictor", "sim", "core"}},
 };
 
 /** Sink trees: may depend on anything, nothing may depend on them. */
