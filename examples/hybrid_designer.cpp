@@ -66,8 +66,13 @@ main(int argc, char **argv)
         copra::sim::bestOfAccuracyPercent(gshare_ledger, pas_ledger);
 
     copra::Table table({"scheme", "accuracy %", "of oracle gap closed %"});
-    double base = std::max(g_res.accuracyPercent(),
-                           p_res.accuracyPercent());
+    // Skip undefined components (all-non-conditional trace → NaN
+    // accuracy) instead of letting NaN poison the max.
+    double base = 0.0;
+    if (g_res.defined())
+        base = std::max(base, g_res.accuracyPercent());
+    if (p_res.defined())
+        base = std::max(base, p_res.accuracyPercent());
     auto closed = [&](double acc) {
         if (oracle <= base)
             return 100.0;

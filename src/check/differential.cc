@@ -48,10 +48,11 @@ scalarPredictions(const Trace &trace, predictor::Predictor &pred)
 std::vector<uint8_t>
 batchedPredictions(const Trace &trace, predictor::Predictor &pred)
 {
-    // Mirror sim::run's batching exactly: maximal runs of consecutive
-    // conditional records go through predictUpdateBatch; the per-branch
-    // prediction is recovered from the correctness bit and the outcome.
-    const std::vector<BranchRecord> &records = trace.records();
+    // Mirror the driver's historical AoS batching: maximal runs of
+    // consecutive conditional records go through predictUpdateBatch; the
+    // per-branch prediction is recovered from the correctness bit and
+    // the outcome.
+    std::span<const BranchRecord> records = trace.records();
     std::vector<uint8_t> out;
     out.reserve(trace.conditionalCount());
     std::vector<uint8_t> correct;
@@ -76,6 +77,40 @@ batchedPredictions(const Trace &trace, predictor::Predictor &pred)
         }
         i = end;
     }
+    return out;
+}
+
+std::vector<uint8_t>
+soaPredictions(const Trace &trace, predictor::Predictor &pred)
+{
+    // Mirror sim::run exactly: conditional segments of the cached SoA
+    // image go through predictUpdateSoa (the specialized column
+    // kernels), non-conditionals through observe() in trace order.
+    const trace::SoABlocks &soa = trace.soa();
+    std::span<const BranchRecord> records = trace.records();
+    std::vector<uint8_t> out;
+    out.reserve(trace.conditionalCount());
+    std::vector<uint8_t> correct;
+    size_t pos = 0;
+    for (const trace::SoABlocks::Segment &seg : soa.conditionalSegments()) {
+        for (; pos < seg.begin; ++pos)
+            pred.observe(records[pos]);
+        if (correct.size() < seg.count)
+            correct.resize(seg.count);
+        predictor::SoaBatch batch{soa.pc() + seg.begin,
+                                  soa.taken() + seg.begin,
+                                  records.data() + seg.begin, seg.count};
+        pred.predictUpdateSoa(batch, correct.data());
+        const uint8_t *taken = batch.taken;
+        for (size_t k = 0; k < seg.count; ++k) {
+            bool prediction =
+                correct[k] ? taken[k] != 0 : taken[k] == 0;
+            out.push_back(prediction ? 1 : 0);
+        }
+        pos = seg.begin + seg.count;
+    }
+    for (; pos < records.size(); ++pos)
+        pred.observe(records[pos]);
     return out;
 }
 
@@ -180,6 +215,10 @@ diffPair(const Trace &trace, const CheckPair &pair, bool check_parallel)
     diffStreams(trace, pair.name, "batched", want,
                 batchedPredictions(trace, *batched), result.mismatches);
 
+    PredictorPtr soa = pair.optimized();
+    diffStreams(trace, pair.name, "soa", want,
+                soaPredictions(trace, *soa), result.mismatches);
+
     // The driver itself: aggregate counts must agree with the reference
     // stream even though sim::run only reports totals.
     PredictorPtr driven = pair.optimized();
@@ -229,7 +268,8 @@ minimizeTrace(const Trace &trace,
               const std::function<bool(const Trace &)> &still_fails,
               unsigned max_rounds)
 {
-    std::vector<BranchRecord> records = trace.records();
+    std::span<const BranchRecord> window = trace.records();
+    std::vector<BranchRecord> records(window.begin(), window.end());
     size_t chunk = std::max<size_t>(1, records.size() / 2);
     unsigned rounds = 0;
     while (rounds < max_rounds) {
@@ -520,6 +560,36 @@ class BatchStaleGshare : public predictor::TwoLevel
     }
 };
 
+/**
+ * gshare whose SoA kernel path trains the counter and history *before*
+ * predicting each branch. The scalar, batched and default paths all
+ * inherit correct TwoLevel behaviour, so only the "soa" stream (and the
+ * sim::run aggregates built on it) can catch this — the self-test that
+ * proves the harness actually exercises the column-kernel path.
+ */
+class SoaPrematureTrainGshare : public predictor::TwoLevel
+{
+  public:
+    using TwoLevel::TwoLevel;
+
+    uint64_t
+    predictUpdateSoa(const predictor::SoaBatch &batch,
+                     uint8_t *correct_out) override
+    {
+        uint64_t n_correct = 0;
+        for (size_t i = 0; i < batch.count; ++i) {
+            const trace::BranchRecord &br = batch.records[i];
+            update(br, br.taken); // BUG: trains before predicting
+            bool prediction = predict(br);
+            bool correct = prediction == br.taken;
+            n_correct += correct ? 1 : 0;
+            if (correct_out)
+                correct_out[i] = correct ? 1 : 0;
+        }
+        return n_correct;
+    }
+};
+
 /** Loop predictor that learns trip counts one too large. */
 class BuggyLoop : public predictor::Predictor
 {
@@ -579,6 +649,8 @@ injectedBugName(InjectedBug bug)
         return "gshare-batch-stale-history";
       case InjectedBug::LoopTripOffByOne:
         return "loop-trip-off-by-one";
+      case InjectedBug::GshareSoaPrematureTrain:
+        return "gshare-soa-premature-train";
     }
     return "unknown";
 }
@@ -605,6 +677,15 @@ injectedBugPair(InjectedBug bug)
         return {std::string("injected:") + injectedBugName(bug),
                 [] { return std::make_unique<BuggyLoop>(); },
                 [] { return std::make_unique<RefLoop>(); }};
+      case InjectedBug::GshareSoaPrematureTrain: {
+        TwoLevelConfig config = TwoLevelConfig::gshare(8);
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<SoaPrematureTrainGshare>(
+                        config);
+                },
+                [config] { return std::make_unique<RefTwoLevel>(config); }};
+      }
     }
     panic("unknown injected bug");
 }

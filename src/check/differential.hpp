@@ -3,7 +3,8 @@
  * The differential runner: replays a trace through an optimized
  * predictor along every execution path the simulator offers — the
  * classic scalar predict()/update() sequence, the devirtualized
- * predictUpdateBatch() path the driver actually uses, sim::run(), and
+ * predictUpdateBatch() path, the SoA column-kernel path
+ * (predictUpdateSoa, what sim::run actually feeds), sim::run(), and
  * sim::runAllParallel() — and diffs each against a clarity-first
  * reference model (check/ref_models.hpp) on a per-branch basis.
  *
@@ -55,7 +56,8 @@ std::vector<CheckPair> defaultCheckPairs();
 struct Mismatch
 {
     std::string pair;   //!< CheckPair name
-    std::string path;   //!< "scalar", "batched", "run" or "parallel"
+    std::string path;   //!< "scalar", "batched", "soa", "run" or
+                        //!< "parallel"
     size_t index = 0;   //!< conditional-branch index (or ~0 = aggregate)
     uint64_t pc = 0;    //!< pc of the diverging branch
     bool expected = false; //!< reference prediction
@@ -86,6 +88,14 @@ std::vector<uint8_t> scalarPredictions(const trace::Trace &trace,
  */
 std::vector<uint8_t> batchedPredictions(const trace::Trace &trace,
                                         predictor::Predictor &pred);
+
+/**
+ * Per-conditional prediction stream using predictUpdateSoa() over the
+ * trace's cached SoA segments — the column-kernel path sim::run()
+ * drives. Covers the specialized SIMD/scalar index kernels.
+ */
+std::vector<uint8_t> soaPredictions(const trace::Trace &trace,
+                                    predictor::Predictor &pred);
 
 /**
  * Replay @p trace through every path of @p pair and diff against the
@@ -153,10 +163,13 @@ enum class InjectedBug : uint8_t
     GshareBatchStaleHistory, //!< batch path predicts before applying the
                              //!< previous branch's history update
     LoopTripOffByOne,        //!< learned trip count is run + 1
+    GshareSoaPrematureTrain, //!< SoA kernel path trains the counter and
+                             //!< history before predicting; every other
+                             //!< path is untouched
 };
 
 /** Number of InjectedBug values. */
-inline constexpr unsigned kInjectedBugCount = 3;
+inline constexpr unsigned kInjectedBugCount = 4;
 
 /** Stable name of an injected bug (CLI selector). */
 const char *injectedBugName(InjectedBug bug);

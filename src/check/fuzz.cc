@@ -223,6 +223,8 @@ fuzzTrace(uint64_t seed, uint64_t conditionals)
 {
     Rng rng(mix64(seed ^ 0xc0ffee));
     Trace out("fuzz-" + std::to_string(seed), seed);
+    // mixedKinds splices up to ~25% non-conditionals between runs.
+    out.reserve(conditionals + conditionals / 4);
     uint64_t segments = 1 + rng.index(4); // 1..4 shapes per trace
     uint64_t left = conditionals;
     for (uint64_t s = 0; s < segments; ++s) {
@@ -259,36 +261,28 @@ corruptBytes(const std::string &bytes, uint64_t seed)
         if (mutated.size() >= 12)
             mutated[8 + rng.index(4)] ^= char(1 + rng.index(0xff));
         break;
-      case 3: { // inflate the record count so records run past EOF.
-        // Count is the u64 after magic(8) + version(4) + seed(8) +
-        // name_len(4) + name bytes.
-        if (mutated.size() >= 24) {
-            uint32_t name_len = 0;
-            for (int i = 3; i >= 0; --i) {
-                name_len = (name_len << 8) |
-                    static_cast<unsigned char>(mutated[20 + i]);
-            }
-            size_t count_off = 24 + name_len;
-            if (count_off + 8 <= mutated.size())
-                mutated[count_off + 7] = char(0x7f); // count |= 2^63-ish
-        }
+      case 3: // inflate the record count so columns run past EOF.
+        // v2 keeps the count at a fixed header offset (24..31).
+        if (mutated.size() >= 32)
+            mutated[24 + 7] = char(0x7f); // count |= 2^63-ish
         break;
-      }
-      case 4: { // poison one record's kind byte (offset 16 in a record)
-        size_t header = 0;
-        if (mutated.size() >= 24) {
+      case 4: { // poison one byte of the kind column
+        // v2 layout: header(48, incl. payload checksum) + name padded
+        // to 8 bytes + pc column (8n) + target column (8n) + kind
+        // column (n) + taken (n).
+        if (mutated.size() >= 48) {
             uint32_t name_len = 0;
             for (int i = 3; i >= 0; --i) {
                 name_len = (name_len << 8) |
-                    static_cast<unsigned char>(mutated[20 + i]);
+                    static_cast<unsigned char>(mutated[12 + i]);
             }
-            header = 24 + name_len + 8;
-        }
-        if (mutated.size() > header + 18) {
-            size_t nrec = (mutated.size() - header) / 18;
-            size_t off = header + rng.index(nrec) * 18 + 16;
-            if (off < mutated.size())
-                mutated[off] = char(4 + rng.index(250)); // kind > Return
+            size_t cols = 48 + ((size_t(name_len) + 7) & ~size_t(7));
+            if (mutated.size() >= cols + 18) {
+                size_t nrec = (mutated.size() - cols) / 18;
+                size_t off = cols + 16 * nrec + rng.index(nrec);
+                if (off < mutated.size())
+                    mutated[off] = char(4 + rng.index(250)); // > Return
+            }
         }
         break;
       }

@@ -45,6 +45,21 @@ buildCatalog()
     add(c, i.simRunMispredicts, "sim.run.mispredicts", Kind::Counter,
         "branches", "mispredicted conditional branches across all "
         "sim::run passes", "sim");
+    add(c, i.simKernelBatches, "sim.kernel.batches", Kind::Counter,
+        "batches",
+        "SoA conditional runs handed to specialized predictor batch "
+        "kernels",
+        "sim");
+    add(c, i.simKernelBranches, "sim.kernel.branches", Kind::Counter,
+        "branches",
+        "conditional branches simulated through specialized SoA batch "
+        "kernels (subset of sim.run.branches)",
+        "sim");
+    add(c, i.simKernelSimdBranches, "sim.kernel.simd_branches",
+        Kind::Counter, "branches",
+        "kernel branches whose index phase ran on the SIMD tier "
+        "(0 when dispatch selects scalar)",
+        "sim");
 
     // --- core: mispredict taxonomy ----------------------------------
     add(c, i.simTaxonomyCold, "sim.taxonomy.cold", Kind::Counter,
@@ -114,9 +129,25 @@ buildCatalog()
         "threads", "worker threads in the global pool at manifest time",
         "util");
 
+    // --- trace: parallel generation ---------------------------------
+    add(c, i.traceGenChunks, "trace.gen.chunks", Kind::Counter,
+        "chunks",
+        "independently-seeded generation chunks executed (1 per trace "
+        "when the budget fits a single chunk)",
+        "trace");
+    add(c, i.traceGenConditionals, "trace.gen.conditionals",
+        Kind::Counter, "branches",
+        "conditional branches produced by workload trace generation",
+        "trace");
+
     // --- trace: on-disk cache ---------------------------------------
     add(c, i.traceCacheHit, "trace.cache.hit", Kind::Counter, "entries",
         "trace cache lookups served from disk", "trace");
+    add(c, i.traceCacheMmapHit, "trace.cache.mmap_hit", Kind::Counter,
+        "entries",
+        "cache hits decoded through the mmap fast path (subset of "
+        "trace.cache.hit)",
+        "trace");
     add(c, i.traceCacheMiss, "trace.cache.miss", Kind::Counter,
         "entries",
         "trace cache lookups that fell through to generation", "trace");

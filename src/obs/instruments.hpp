@@ -26,6 +26,12 @@ struct Ids
     InstrumentId simRunBranches = 0;
     InstrumentId simRunMispredicts = 0;
 
+    // predictor: batch kernel dispatch (src/predictor/two_level.cc,
+    // bimodal.cc via predictor/kernels.hpp).
+    InstrumentId simKernelBatches = 0;
+    InstrumentId simKernelBranches = 0;
+    InstrumentId simKernelSimdBranches = 0;
+
     // core: mispredict taxonomy (src/core/mispredict_taxonomy.cc).
     InstrumentId simTaxonomyCold = 0;
     InstrumentId simTaxonomyInterference = 0;
@@ -48,8 +54,13 @@ struct Ids
     InstrumentId poolTaskSeconds = 0;
     InstrumentId poolWorkerCount = 0;
 
+    // trace: parallel trace generation (src/workload/program.cc).
+    InstrumentId traceGenChunks = 0;
+    InstrumentId traceGenConditionals = 0;
+
     // trace: the on-disk trace cache (src/trace/trace_cache.cc).
     InstrumentId traceCacheHit = 0;
+    InstrumentId traceCacheMmapHit = 0;
     InstrumentId traceCacheMiss = 0;
     InstrumentId traceCacheEvict = 0;
     InstrumentId traceCacheReadBytes = 0;

@@ -1,5 +1,8 @@
 #include "predictor/bimodal.hpp"
 
+#include <algorithm>
+
+#include "predictor/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace copra::predictor {
@@ -29,6 +32,39 @@ void
 Bimodal::update(const trace::BranchRecord &br, bool taken)
 {
     table_[indexOf(br.pc)].update(taken);
+}
+
+uint64_t
+Bimodal::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+{
+    if (batch.count == 0)
+        return 0;
+    kernelCounts_.note(batch.count);
+
+    const kernels::Kernels &k = kernels::active();
+    const uint64_t mask = (uint64_t(1) << tableBits_) - 1;
+    size_t tile = std::min(kKernelTile, batch.count);
+    if (idxScratch_.size() < tile)
+        idxScratch_.resize(tile);
+
+    uint64_t n_correct = 0;
+    size_t base = 0;
+    while (base < batch.count) {
+        size_t n = std::min(kKernelTile, batch.count - base);
+        k.pcIndices(batch.pc + base, n, mask, idxScratch_.data());
+        for (size_t j = 0; j < n; ++j) {
+            Counter2 &counter = table_[idxScratch_[j]];
+            bool prediction = counter.taken();
+            uint8_t t = batch.taken[base + j];
+            counter.update(t != 0);
+            bool correct = prediction == (t != 0);
+            n_correct += correct ? 1 : 0;
+            if (correct_out)
+                correct_out[base + j] = correct ? 1 : 0;
+        }
+        base += n;
+    }
+    return n_correct;
 }
 
 void

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "predictor/kernels.hpp"
 #include "predictor/predictor.hpp"
 #include "util/sat_counter.hpp"
 
@@ -28,6 +29,15 @@ class Bimodal : public Predictor
 
     bool predict(const trace::BranchRecord &br) override;
     void update(const trace::BranchRecord &br, bool taken) override;
+
+    /**
+     * Column-kernel batch path: table indices come from the dispatched
+     * pcIndices kernel (predictor/kernels.hpp); the counter walk stays
+     * serial because aliasing branches must see each other's updates.
+     */
+    uint64_t predictUpdateSoa(const SoaBatch &batch,
+                              uint8_t *correct_out) override;
+
     void reset() override;
     std::string name() const override;
 
@@ -35,10 +45,15 @@ class Bimodal : public Predictor
     size_t tableSize() const { return table_.size(); }
 
   private:
+    /** Records per kernel tile (see TwoLevel::kKernelTile). */
+    static constexpr size_t kKernelTile = 2048;
+
     size_t indexOf(uint64_t pc) const;
 
     unsigned tableBits_;
     std::vector<Counter2> table_;
+    std::vector<uint32_t> idxScratch_; // kernel tile: table indices
+    kernels::BatchCounters kernelCounts_; // flushes to obs on destroy
 };
 
 } // namespace copra::predictor

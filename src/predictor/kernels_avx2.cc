@@ -1,0 +1,132 @@
+/**
+ * @file
+ * AVX2 index kernels — the only x86 TU allowed to use raw intrinsics
+ * (copra_lint banned-api). Compiled with -mavx2 and selected at
+ * runtime behind kernels::activeTier(), so the binary still runs on
+ * pre-AVX2 CPUs. Every kernel performs the same integer arithmetic as
+ * its scalar twin in kernels.cc: shifts, masks and xors only, so the
+ * results are bit-identical and the differential gate can compare the
+ * tiers directly.
+ */
+
+#include "predictor/kernels.hpp"
+
+#if defined(COPRA_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace copra::predictor::kernels {
+
+namespace {
+
+/**
+ * Store the low 32 bits of each 64-bit lane of @p v (all values fit in
+ * 28 bits here) to idx[0..3].
+ */
+inline void
+storeNarrowed(__m256i v, uint32_t *idx)
+{
+    const __m256i perm = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    __m256i packed = _mm256_permutevar8x32_epi32(v, perm);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(idx),
+                     _mm256_castsi256_si128(packed));
+}
+
+void
+xorIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
+               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx)
+{
+    const __m256i hm = _mm256_set1_epi64x(static_cast<long long>(history_mask));
+    const __m256i pm = _mm256_set1_epi64x(static_cast<long long>(pht_mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(hist + k));
+        __m256i p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pc + k));
+        __m256i v = _mm256_xor_si256(_mm256_and_si256(h, hm),
+                                     _mm256_srli_epi64(p, 2));
+        storeNarrowed(_mm256_and_si256(v, pm), idx + k);
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>(
+            ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask);
+}
+
+void
+maskIndicesAvx2(const uint64_t *hist, size_t n, uint64_t history_mask,
+                uint64_t pht_mask, uint32_t *idx)
+{
+    uint64_t mask = history_mask & pht_mask;
+    const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(hist + k));
+        storeNarrowed(_mm256_and_si256(h, m), idx + k);
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>(hist[k] & mask);
+}
+
+void
+concatIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
+                  uint64_t history_mask, unsigned history_bits,
+                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx)
+{
+    const __m256i hm = _mm256_set1_epi64x(static_cast<long long>(history_mask));
+    const __m256i sm = _mm256_set1_epi64x(static_cast<long long>(select_mask));
+    const __m256i pm = _mm256_set1_epi64x(static_cast<long long>(pht_mask));
+    const __m128i hb = _mm_cvtsi32_si128(static_cast<int>(history_bits));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(hist + k));
+        __m256i p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pc + k));
+        __m256i select = _mm256_and_si256(_mm256_srli_epi64(p, 2), sm);
+        __m256i v = _mm256_or_si256(_mm256_sll_epi64(select, hb),
+                                    _mm256_and_si256(h, hm));
+        storeNarrowed(_mm256_and_si256(v, pm), idx + k);
+    }
+    for (; k < n; ++k) {
+        uint64_t select = (pc[k] >> 2) & select_mask;
+        idx[k] = static_cast<uint32_t>(
+            ((select << history_bits) | (hist[k] & history_mask)) &
+            pht_mask);
+    }
+}
+
+void
+pcIndicesAvx2(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx)
+{
+    const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pc + k));
+        storeNarrowed(_mm256_and_si256(_mm256_srli_epi64(p, 2), m),
+                      idx + k);
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>((pc[k] >> 2) & mask);
+}
+
+constexpr Kernels kAvx2 = {
+    &xorIndicesAvx2,
+    &maskIndicesAvx2,
+    &concatIndicesAvx2,
+    &pcIndicesAvx2,
+};
+
+} // namespace
+
+const Kernels &
+avx2Kernels()
+{
+    return kAvx2;
+}
+
+} // namespace copra::predictor::kernels
+
+#endif // COPRA_HAVE_AVX2

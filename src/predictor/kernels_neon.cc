@@ -1,0 +1,121 @@
+/**
+ * @file
+ * NEON index kernels — the only aarch64 TU allowed to use raw
+ * intrinsics (copra_lint banned-api). NEON is architectural on
+ * aarch64, so there is no CPU probe; the tier is still routed through
+ * kernels::activeTier() so COPRA_SIMD=off selects the scalar twins.
+ * As with AVX2, only shifts, masks and xors are used, so results are
+ * bit-identical to the scalar kernels.
+ *
+ * Variable shifts use vshlq_u64 with a (possibly negative) signed
+ * count vector, NEON's one shift-by-register form.
+ */
+
+#include "predictor/kernels.hpp"
+
+#if defined(COPRA_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace copra::predictor::kernels {
+
+namespace {
+
+void
+xorIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
+               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx)
+{
+    const uint64x2_t hm = vdupq_n_u64(history_mask);
+    const uint64x2_t pm = vdupq_n_u64(pht_mask);
+    const int64x2_t shr2 = vdupq_n_s64(-2);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t h = vld1q_u64(hist + k);
+        uint64x2_t p = vld1q_u64(pc + k);
+        uint64x2_t v = veorq_u64(vandq_u64(h, hm), vshlq_u64(p, shr2));
+        v = vandq_u64(v, pm);
+        idx[k] = static_cast<uint32_t>(vgetq_lane_u64(v, 0));
+        idx[k + 1] = static_cast<uint32_t>(vgetq_lane_u64(v, 1));
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>(
+            ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask);
+}
+
+void
+maskIndicesNeon(const uint64_t *hist, size_t n, uint64_t history_mask,
+                uint64_t pht_mask, uint32_t *idx)
+{
+    uint64_t mask = history_mask & pht_mask;
+    const uint64x2_t m = vdupq_n_u64(mask);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t v = vandq_u64(vld1q_u64(hist + k), m);
+        idx[k] = static_cast<uint32_t>(vgetq_lane_u64(v, 0));
+        idx[k + 1] = static_cast<uint32_t>(vgetq_lane_u64(v, 1));
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>(hist[k] & mask);
+}
+
+void
+concatIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
+                  uint64_t history_mask, unsigned history_bits,
+                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx)
+{
+    const uint64x2_t hm = vdupq_n_u64(history_mask);
+    const uint64x2_t sm = vdupq_n_u64(select_mask);
+    const uint64x2_t pm = vdupq_n_u64(pht_mask);
+    const int64x2_t shr2 = vdupq_n_s64(-2);
+    const int64x2_t shl = vdupq_n_s64(static_cast<int64_t>(history_bits));
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t h = vld1q_u64(hist + k);
+        uint64x2_t p = vld1q_u64(pc + k);
+        uint64x2_t select = vandq_u64(vshlq_u64(p, shr2), sm);
+        uint64x2_t v = vorrq_u64(vshlq_u64(select, shl), vandq_u64(h, hm));
+        v = vandq_u64(v, pm);
+        idx[k] = static_cast<uint32_t>(vgetq_lane_u64(v, 0));
+        idx[k + 1] = static_cast<uint32_t>(vgetq_lane_u64(v, 1));
+    }
+    for (; k < n; ++k) {
+        uint64_t select = (pc[k] >> 2) & select_mask;
+        idx[k] = static_cast<uint32_t>(
+            ((select << history_bits) | (hist[k] & history_mask)) &
+            pht_mask);
+    }
+}
+
+void
+pcIndicesNeon(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx)
+{
+    const uint64x2_t m = vdupq_n_u64(mask);
+    const int64x2_t shr2 = vdupq_n_s64(-2);
+    size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t v = vandq_u64(vshlq_u64(vld1q_u64(pc + k), shr2), m);
+        idx[k] = static_cast<uint32_t>(vgetq_lane_u64(v, 0));
+        idx[k + 1] = static_cast<uint32_t>(vgetq_lane_u64(v, 1));
+    }
+    for (; k < n; ++k)
+        idx[k] = static_cast<uint32_t>((pc[k] >> 2) & mask);
+}
+
+constexpr Kernels kNeon = {
+    &xorIndicesNeon,
+    &maskIndicesNeon,
+    &concatIndicesNeon,
+    &pcIndicesNeon,
+};
+
+} // namespace
+
+const Kernels &
+neonKernels()
+{
+    return kNeon;
+}
+
+} // namespace copra::predictor::kernels
+
+#endif // COPRA_HAVE_NEON

@@ -20,6 +20,20 @@
 namespace copra::predictor {
 
 /**
+ * One run of consecutive conditional branches in structure-of-arrays
+ * form (columns borrowed from trace::SoABlocks, offset to the run).
+ * records points at the same branches in AoS form so the default
+ * predictUpdateSoa can fall back to the record-based batch path.
+ */
+struct SoaBatch
+{
+    const uint64_t *pc = nullptr;    //!< branch addresses
+    const uint8_t *taken = nullptr;  //!< outcomes, 0/1
+    const trace::BranchRecord *records = nullptr; //!< AoS mirror
+    size_t count = 0;
+};
+
+/**
  * Abstract branch direction predictor.
  *
  * Contract: the driver calls predict() then update() exactly once per
@@ -87,6 +101,28 @@ class Predictor
             ++i;
         }
         return n_correct;
+    }
+
+    /**
+     * Column-based twin of predictUpdateBatch: the driver hands each
+     * conditional run as SoA columns so hot predictors can run batch
+     * index kernels over contiguous pc/taken arrays (see
+     * predictor/kernels.hpp). The default routes through
+     * predictUpdateBatch via the batch's AoS mirror, so overriding is
+     * purely an optimization and never changes results — the
+     * differential suite compares every overriding predictor against
+     * the scalar path.
+     *
+     * @param batch Consecutive conditional branches, in trace order.
+     * @param correct_out When non-null, receives one 0/1 entry per
+     *                    record: was the prediction correct?
+     * @return Number of correct predictions in the batch.
+     */
+    virtual uint64_t
+    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+    {
+        return predictUpdateBatch({batch.records, batch.count},
+                                  correct_out);
     }
 
     /** Forget all adaptive state. */

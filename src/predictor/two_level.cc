@@ -1,5 +1,8 @@
 #include "predictor/two_level.hpp"
 
+#include <algorithm>
+
+#include "predictor/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace copra::predictor {
@@ -176,6 +179,144 @@ TwoLevel::predictUpdateBatch(std::span<const trace::BranchRecord> batch,
         if (correct_out)
             correct_out[i] = correct ? 1 : 0;
         ++i;
+    }
+    return n_correct;
+}
+
+uint64_t
+TwoLevel::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+{
+    if (batch.count == 0)
+        return 0;
+    kernelCounts_.note(batch.count);
+
+    size_t tile = std::min(kKernelTile, batch.count);
+    if (histScratch_.size() < tile) {
+        histScratch_.resize(tile);
+        idxScratch_.resize(tile);
+    }
+    return config_.scope == TwoLevelConfig::Scope::Global
+        ? runGlobalSoa(batch, correct_out)
+        : runPerAddressSoa(batch, correct_out);
+}
+
+uint64_t
+TwoLevel::runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out)
+{
+    // The global history register evolves only from the outcomes, so
+    // per-branch history words — and hence every PHT index — are known
+    // before any counter is touched. historyFill leaves the words
+    // unmasked; masking distributes over the shift chain, so masking
+    // once inside the index kernels is equivalent to the per-step
+    // masking the scalar path performs.
+    const kernels::Kernels &k = kernels::active();
+    const uint64_t select_mask =
+        (uint64_t(1) << config_.pcSelectBits) - 1;
+    uint64_t w = histories_[0];
+    uint64_t n_correct = 0;
+    size_t base = 0;
+    while (base < batch.count) {
+        size_t n = std::min(kKernelTile, batch.count - base);
+        w = kernels::historyFill(batch.taken + base, n, w,
+                                 histScratch_.data());
+        switch (config_.index) {
+          case TwoLevelConfig::Index::HistoryOnly:
+            k.maskIndices(histScratch_.data(), n, historyMask_, phtMask_,
+                          idxScratch_.data());
+            break;
+          case TwoLevelConfig::Index::Concat:
+            k.concatIndices(histScratch_.data(), batch.pc + base, n,
+                            historyMask_, config_.historyBits,
+                            select_mask, phtMask_, idxScratch_.data());
+            break;
+          case TwoLevelConfig::Index::Xor:
+            k.xorIndices(histScratch_.data(), batch.pc + base, n,
+                         historyMask_, phtMask_, idxScratch_.data());
+            break;
+        }
+        // Counter training stays serial: two branches in one tile may
+        // alias the same counter, and the second prediction must see
+        // the first update.
+        for (size_t j = 0; j < n; ++j) {
+            uint8_t &counter = pht_[idxScratch_[j]];
+            bool prediction = counter > counterInit_;
+            uint8_t t = batch.taken[base + j];
+            if (t) {
+                if (counter < counterMax_)
+                    ++counter;
+            } else {
+                if (counter > 0)
+                    --counter;
+            }
+            bool correct = prediction == (t != 0);
+            n_correct += correct ? 1 : 0;
+            if (correct_out)
+                correct_out[base + j] = correct ? 1 : 0;
+        }
+        base += n;
+    }
+    histories_[0] = w & historyMask_;
+    return n_correct;
+}
+
+uint64_t
+TwoLevel::runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out)
+{
+    // Per-address histories serialize on the BHT row, so only the row
+    // lookup vectorizes; the PHT index still needs the just-updated
+    // row history. Hoisting the index flavour out of the loop is the
+    // remaining win over the record-based batch path.
+    const kernels::Kernels &k = kernels::active();
+    const uint64_t select_mask =
+        (uint64_t(1) << config_.pcSelectBits) - 1;
+    const uint64_t bht_mask = (uint64_t(1) << config_.bhtBits) - 1;
+    uint64_t n_correct = 0;
+    size_t base = 0;
+    while (base < batch.count) {
+        size_t n = std::min(kKernelTile, batch.count - base);
+        k.pcIndices(batch.pc + base, n, bht_mask, idxScratch_.data());
+        auto train = [&](auto pht_index_of) {
+            for (size_t j = 0; j < n; ++j) {
+                uint64_t &hist_reg = histories_[idxScratch_[j]];
+                uint64_t pc_bits = batch.pc[base + j] >> 2;
+                uint8_t &counter =
+                    pht_[pht_index_of(pc_bits, hist_reg & historyMask_)];
+                bool prediction = counter > counterInit_;
+                uint8_t t = batch.taken[base + j];
+                if (t) {
+                    if (counter < counterMax_)
+                        ++counter;
+                } else {
+                    if (counter > 0)
+                        --counter;
+                }
+                hist_reg = ((hist_reg << 1) | t) & historyMask_;
+                bool correct = prediction == (t != 0);
+                n_correct += correct ? 1 : 0;
+                if (correct_out)
+                    correct_out[base + j] = correct ? 1 : 0;
+            }
+        };
+        switch (config_.index) {
+          case TwoLevelConfig::Index::HistoryOnly:
+            train([&](uint64_t, uint64_t hist) {
+                return hist & phtMask_;
+            });
+            break;
+          case TwoLevelConfig::Index::Concat:
+            train([&](uint64_t pc_bits, uint64_t hist) {
+                uint64_t select = pc_bits & select_mask;
+                return ((select << config_.historyBits) | hist) &
+                    phtMask_;
+            });
+            break;
+          case TwoLevelConfig::Index::Xor:
+            train([&](uint64_t pc_bits, uint64_t hist) {
+                return (hist ^ pc_bits) & phtMask_;
+            });
+            break;
+        }
+        base += n;
     }
     return n_correct;
 }

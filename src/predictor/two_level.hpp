@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "predictor/kernels.hpp"
 #include "predictor/predictor.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
@@ -102,6 +103,15 @@ class TwoLevel : public Predictor
     predictUpdateBatch(std::span<const trace::BranchRecord> batch,
                        uint8_t *correct_out) override;
 
+    /**
+     * Column-kernel batch path (same results as predict + update):
+     * the index phase runs through the dispatched batch kernels
+     * (predictor/kernels.hpp) in fixed-size L1-resident tiles; only
+     * the saturating-counter training loop stays serial.
+     */
+    uint64_t
+    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) override;
+
     void reset() override;
     std::string name() const override;
 
@@ -111,8 +121,15 @@ class TwoLevel : public Predictor
     size_t phtIndex(uint64_t pc) const;
 
   private:
+    /** Records per kernel tile; bounds the index scratch to ~24 KiB so
+     * it stays L1-resident for any batch length. */
+    static constexpr size_t kKernelTile = 2048;
+
     uint64_t &historyFor(uint64_t pc);
     uint64_t historyFor(uint64_t pc) const;
+
+    uint64_t runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out);
+    uint64_t runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out);
 
     TwoLevelConfig config_;
     uint64_t historyMask_;
@@ -121,6 +138,9 @@ class TwoLevel : public Predictor
     uint8_t counterInit_;
     std::vector<uint64_t> histories_; // size 1 (global) or 2^bhtBits
     std::vector<uint8_t> pht_;        // counterBits-wide counters
+    std::vector<uint64_t> histScratch_; // kernel tile: history words
+    std::vector<uint32_t> idxScratch_;  // kernel tile: table indices
+    kernels::BatchCounters kernelCounts_; // flushes to obs on destroy
 };
 
 } // namespace copra::predictor

@@ -1,11 +1,12 @@
 #include "sim/driver.hpp"
 
-#include <span>
 #include <vector>
 
 #include "obs/instruments.hpp"
 #include "obs/registry.hpp"
+#include "trace/trace_soa.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace copra::sim {
@@ -17,37 +18,77 @@ run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
     result.predictorName = pred.name();
 
     // Feed maximal runs of consecutive conditional branches through the
-    // batch entry point: for predictors that override it (TwoLevel) the
-    // inner loop pays no virtual dispatch per branch, and for everything
-    // else the default batch method reproduces the classic
-    // predict/update call sequence exactly.
-    const std::vector<trace::BranchRecord> &records = trace.records();
+    // SoA batch entry point: predictors with specialized kernels
+    // (TwoLevel, Bimodal) consume the contiguous pc/taken columns
+    // directly, and everything else falls back — via the batch's AoS
+    // mirror — to the record-based batch default, which reproduces the
+    // classic predict/update call sequence exactly. Non-conditional
+    // records between runs are delivered to observe() in trace order.
+    const trace::SoABlocks &soa = trace.soa();
+    std::span<const trace::BranchRecord> records = trace.records();
+    // Ledger path: accumulate per-branch tallies addressed by the
+    // trace's dense static index (built once with the SoA image — no
+    // hashing per branch). The hot loop does ONE u64 add per branch
+    // into a packed execs/taken/correct word (21 bits each, flushed to
+    // the wide tallies well before any field can saturate), keeping the
+    // randomly-addressed array at 8 bytes per static branch — L1-sized
+    // for every benchmark. Folding is additive, so the result is
+    // identical to calling Ledger::record per branch.
+    constexpr uint64_t kFieldMask = (uint64_t(1) << 21) - 1;
+    constexpr uint64_t kFlushEvery = uint64_t(1) << 20;
+    std::vector<BranchTally> tallies(ledger ? soa.staticCount() : 0);
+    std::vector<uint64_t> packed(tallies.size(), 0);
+    uint64_t since_flush = 0;
+    auto flush = [&] {
+        for (size_t id = 0; id < packed.size(); ++id) {
+            uint64_t p = packed[id];
+            if (p == 0)
+                continue;
+            packed[id] = 0;
+            BranchTally &t = tallies[id];
+            t.execs += p & kFieldMask;
+            t.taken += (p >> 21) & kFieldMask;
+            t.correct += (p >> 42) & kFieldMask;
+        }
+        since_flush = 0;
+    };
     std::vector<uint8_t> correct;
-    size_t i = 0;
-    while (i < records.size()) {
-        if (!records[i].isConditional()) {
-            pred.observe(records[i]);
-            ++i;
-            continue;
-        }
-        size_t end = i + 1;
-        while (end < records.size() && records[end].isConditional())
-            ++end;
-        size_t count = end - i;
-        std::span<const trace::BranchRecord> batch(&records[i], count);
+
+    size_t pos = 0;
+    for (const trace::SoABlocks::Segment &seg : soa.conditionalSegments()) {
+        for (; pos < seg.begin; ++pos)
+            pred.observe(records[pos]);
+        predictor::SoaBatch batch{soa.pc() + seg.begin,
+                                  soa.taken() + seg.begin,
+                                  records.data() + seg.begin, seg.count};
         if (ledger) {
-            if (correct.size() < count)
-                correct.resize(count);
-            result.correct += pred.predictUpdateBatch(batch,
-                                                      correct.data());
-            for (size_t k = 0; k < count; ++k)
-                ledger->record(batch[k].pc, batch[k].taken,
-                               correct[k] != 0);
+            if (correct.size() < seg.count)
+                correct.resize(seg.count);
+            result.correct += pred.predictUpdateSoa(batch, correct.data());
+            const uint32_t *sidx = soa.staticIndex() + seg.begin;
+            const uint8_t *taken = batch.taken;
+            for (size_t k = 0; k < seg.count; ++k) {
+                packed[sidx[k]] += 1 | (uint64_t(taken[k]) << 21) |
+                    (uint64_t(correct[k]) << 42);
+            }
+            since_flush += seg.count;
+            if (since_flush >= kFlushEvery)
+                flush();
         } else {
-            result.correct += pred.predictUpdateBatch(batch, nullptr);
+            result.correct += pred.predictUpdateSoa(batch, nullptr);
         }
-        result.dynamicBranches += count;
-        i = end;
+        result.dynamicBranches += seg.count;
+        pos = seg.begin + seg.count;
+    }
+    for (; pos < records.size(); ++pos)
+        pred.observe(records[pos]);
+
+    if (ledger) {
+        flush();
+        std::span<const uint64_t> pcs = soa.staticPcs();
+        for (size_t id = 0; id < tallies.size(); ++id)
+            if (tallies[id].execs != 0)
+                ledger->addTally(pcs[id], tallies[id]);
     }
     obs::count(obs::ids().simRunBranches, result.dynamicBranches);
     obs::count(obs::ids().simRunMispredicts,
@@ -62,35 +103,20 @@ runAll(const trace::Trace &trace,
 {
     for (auto *p : preds)
         panicIf(p == nullptr, "runAll: null predictor");
-    if (ledgers)
+    if (ledgers) {
+        ledgers->clear();
         ledgers->resize(preds.size());
+    }
 
+    // One full pass per predictor over the shared SoA image. Predictors
+    // own all their adaptive state, so per-predictor passes produce
+    // exactly the branch-interleaved results — every ledger covers the
+    // same dynamic branches — while each pass streams the cached
+    // columns instead of re-decoding records.
     std::vector<RunResult> results(preds.size());
     for (size_t i = 0; i < preds.size(); ++i)
-        results[i].predictorName = preds[i]->name();
-
-    for (const auto &rec : trace.records()) {
-        if (!rec.isConditional()) {
-            for (auto *p : preds)
-                p->observe(rec);
-            continue;
-        }
-        for (size_t i = 0; i < preds.size(); ++i) {
-            bool prediction = preds[i]->predict(rec);
-            preds[i]->update(rec, rec.taken);
-            bool correct = prediction == rec.taken;
-            ++results[i].dynamicBranches;
-            if (correct)
-                ++results[i].correct;
-            if (ledgers)
-                (*ledgers)[i].record(rec.pc, rec.taken, correct);
-        }
-    }
-    for (const RunResult &r : results) {
-        obs::count(obs::ids().simRunBranches, r.dynamicBranches);
-        obs::count(obs::ids().simRunMispredicts,
-                   r.dynamicBranches - r.correct);
-    }
+        results[i] = run(trace, *preds[i],
+                         ledgers ? &(*ledgers)[i] : nullptr);
     return results;
 }
 
@@ -105,6 +131,11 @@ runAllParallel(const trace::Trace &trace,
         ledgers->clear();
         ledgers->resize(preds.size());
     }
+
+    // Build the shared SoA image once, before the fan-out, so worker
+    // threads only ever read it (the lazy build in soa() is locked, but
+    // prebuilding keeps the hot path contention-free).
+    trace.soa();
 
     // Each predictor owns its adaptive state and writes only its own
     // result slot and ledger; the trace is shared read-only. Sharding by

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,17 +35,26 @@ struct RunResult
     uint64_t dynamicBranches = 0;
     uint64_t correct = 0;
 
-    /** Prediction accuracy as a percentage. */
+    /**
+     * True when the trace held at least one conditional branch, i.e.
+     * accuracy is a meaningful number. A run over an all-non-conditional
+     * trace predicted nothing; reporting it as 0% would read as "every
+     * prediction wrong", so accuracyPercent() is NaN instead and
+     * consumers print "n/a" (and oracle selection skips the result).
+     */
+    bool defined() const { return dynamicBranches != 0; }
+
+    /** Prediction accuracy as a percentage; NaN when !defined(). */
     double
     accuracyPercent() const
     {
         if (dynamicBranches == 0)
-            return 0.0;
+            return std::numeric_limits<double>::quiet_NaN();
         return 100.0 * static_cast<double>(correct)
             / static_cast<double>(dynamicBranches);
     }
 
-    /** Misprediction rate as a percentage. */
+    /** Misprediction rate as a percentage; NaN when !defined(). */
     double mispredictPercent() const { return 100.0 - accuracyPercent(); }
 };
 

@@ -1,6 +1,7 @@
 #include "sim/ledger.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hpp"
 
@@ -31,7 +32,7 @@ Ledger::accuracyPercent() const
 {
     uint64_t total = dynamic();
     if (total == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return 100.0 * static_cast<double>(correct())
         / static_cast<double>(total);
 }
@@ -57,7 +58,7 @@ bestOfAccuracyPercent(const Ledger &a, const Ledger &b)
         correct += std::max(ta.correct, tb.correct);
     }
     if (total == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return 100.0 * static_cast<double>(correct)
         / static_cast<double>(total);
 }

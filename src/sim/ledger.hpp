@@ -57,13 +57,28 @@ class Ledger
         table_[pc] = BranchTally{execs, correct, taken};
     }
 
+    /**
+     * Accumulate a precomputed tally into the entry for @p pc —
+     * equivalent to tally.execs record() calls. The driver batches its
+     * per-branch accounting in a flat table and folds it in here once
+     * per run.
+     */
+    void
+    addTally(uint64_t pc, const BranchTally &tally)
+    {
+        BranchTally &t = table_[pc];
+        t.execs += tally.execs;
+        t.correct += tally.correct;
+        t.taken += tally.taken;
+    }
+
     /** Total dynamic branches recorded. */
     uint64_t dynamic() const { return dynamic_helper(); }
 
     /** Total correct predictions recorded. */
     uint64_t correct() const;
 
-    /** Overall accuracy as a percentage (0 if empty). */
+    /** Overall accuracy as a percentage (NaN — "n/a" — if empty). */
     double accuracyPercent() const;
 
     /** Tally for @p pc (zero tally if never recorded). */

@@ -6,10 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "trace/branch_record.hpp"
+#include "trace/trace_soa.hpp"
+#include "util/sync.hpp"
 
 namespace copra::trace {
 
@@ -20,17 +24,25 @@ namespace copra::trace {
  * Traces are append-only during generation and immutable during
  * simulation; all experiment passes iterate the same trace object so
  * per-branch comparisons are exactly aligned.
+ *
+ * Storage is shared copy-on-write: copying a Trace, or taking a
+ * prefix() view, shares the underlying record array (no record is
+ * copied); the first append to a trace whose storage is shared — or
+ * whose window does not end at the storage tail — detaches it onto a
+ * private copy, so views never observe later mutation.
+ *
+ * soa() exposes a lazily built, cached structure-of-arrays image of
+ * the records (see trace_soa.hpp) reused across all predictor passes.
+ * Building is thread-safe; as with the record array itself, mutating
+ * a trace while another thread reads it is outside the contract.
  */
 class Trace
 {
   public:
-    Trace() = default;
+    Trace();
 
     /** @param name Benchmark / workload identification string. */
-    explicit Trace(std::string name, uint64_t seed = 0)
-        : name_(std::move(name)), seed_(seed)
-    {
-    }
+    explicit Trace(std::string name, uint64_t seed = 0);
 
     /** Workload name this trace was generated from. */
     const std::string &name() const { return name_; }
@@ -47,40 +59,80 @@ class Trace
     /** Append one dynamic branch execution. */
     void append(const BranchRecord &rec);
 
+    /** Append every record of @p other in order (bulk concatenation). */
+    void appendTrace(const Trace &other);
+
     /** Total records (all control-transfer kinds). */
-    size_t size() const { return records_.size(); }
+    size_t size() const { return count_; }
 
     /** True when the trace holds no records. */
-    bool empty() const { return records_.empty(); }
+    bool empty() const { return count_ == 0; }
 
     /** Number of conditional branch records. */
     uint64_t conditionalCount() const { return conditionals_; }
 
     /** Record at position @p i. */
-    const BranchRecord &operator[](size_t i) const { return records_[i]; }
+    const BranchRecord &operator[](size_t i) const
+    {
+        return (*store_)[offset_ + i];
+    }
 
-    /** Underlying record storage (for range-for iteration). */
-    const std::vector<BranchRecord> &records() const { return records_; }
+    /** The record window (for range-for iteration and batch spans). */
+    std::span<const BranchRecord>
+    records() const
+    {
+        if (!store_)
+            return {};
+        return {store_->data() + offset_, count_};
+    }
 
     /** Reserve storage for @p n records. */
-    void reserve(size_t n) { records_.reserve(n); }
+    void reserve(size_t n);
 
     /** Remove all records. */
     void clear();
 
     /**
-     * Copy the first @p n_conditionals conditional branches (and every
-     * non-conditional record interleaved before them) into a new trace.
+     * A view of the first @p n_conditionals conditional branches (and
+     * every non-conditional record interleaved before them). The view
+     * shares record storage with this trace — no records are copied.
      * Used to run experiments on a prefix of a long trace.
      */
     Trace prefix(uint64_t n_conditionals) const;
 
+    /**
+     * The structure-of-arrays image of this trace, built on first use
+     * and cached (copies of the trace share the cache; prefix views
+     * build their own). Loaders that already hold columns install the
+     * image directly via fromSoa().
+     */
+    const SoABlocks &soa() const;
+
+    /**
+     * Build a trace directly from a column image: materializes the
+     * record array from the columns and installs @p blocks as the
+     * cached SoA, so a subsequent soa() call is free.
+     */
+    static Trace fromSoa(std::string name, uint64_t seed, SoABlocks blocks);
+
   private:
+    /** Lazily built SoA image; shared by copies of the same window. */
+    struct SoaCache
+    {
+        util::Mutex mutex;
+        std::shared_ptr<const SoABlocks> blocks COPRA_GUARDED_BY(mutex);
+    };
+
+    /** Detach shared or non-tail storage before mutation. */
+    void ensureOwned(size_t extra_capacity);
+
     std::string name_;
     uint64_t seed_ = 0;
     uint64_t conditionals_ = 0;
-    std::vector<BranchRecord> records_;
+    std::shared_ptr<std::vector<BranchRecord>> store_;
+    size_t offset_ = 0;
+    size_t count_ = 0;
+    std::shared_ptr<SoaCache> soaCache_;
 };
 
 } // namespace copra::trace
-

@@ -59,7 +59,20 @@ TraceCache::load(const TraceCacheKey &key) const
     if (ec)
         bytes = 0;
     try {
-        Trace trace = loadBinary(path);
+        // Fast path: mmap the entry and adopt its columns directly.
+        // Anything the mapped loader rejects — most usefully a
+        // wrong-version header, e.g. a v1 file renamed into place —
+        // falls back to the stream decoder, which still reads v1.
+        Trace trace;
+        bool mapped = false;
+        try {
+            trace = loadBinaryMapped(path);
+            mapped = true;
+        } catch (const std::exception &) {
+            trace = loadBinary(path);
+        }
+        if (mapped)
+            obs::count(obs::ids().traceCacheMmapHit);
         if (trace.name() != key.benchmark) {
             warn("trace cache: entry " + path +
                  " is labeled '" + trace.name() + "', dropping it");

@@ -6,10 +6,12 @@
  * Entries are keyed by (benchmark, branches, seed, binary-format
  * version); the key is encoded in the file name, so bumping
  * kTraceFormatVersion invalidates every existing entry without any
- * bookkeeping (old files are simply never looked up, and a stale file
- * renamed into place is still rejected by the version check inside
- * readBinary). Corrupt or unreadable entries are treated as misses and
- * removed.
+ * bookkeeping (old files are simply never looked up). Hits are served
+ * by memory-mapping the column-major v2 format (loadBinaryMapped): a
+ * header check plus bulk column adoption, no per-record decode. A
+ * stale or renamed file the mapped loader rejects falls back to the
+ * stream decoder (which still reads v1); corrupt or unreadable
+ * entries are treated as misses and removed.
  *
  * The cache directory defaults to ".copra-cache/" and is overridable
  * with the COPRA_CACHE_DIR environment variable. Stores are atomic

@@ -16,24 +16,33 @@ namespace copra::trace {
 
 /**
  * Version of the binary trace format written by writeBinary. Bump on any
- * layout change; readers reject other versions and the on-disk trace
- * cache keys its entries on this value, so stale cache files are never
- * misread.
+ * layout change; the on-disk trace cache keys its entries on this value,
+ * so stale cache files are never misread. readBinary still decodes the
+ * previous (v1) record-interleaved layout, so a v1 file that shows up
+ * under a v2 name falls back to a full re-decode instead of failing.
  */
-inline constexpr uint32_t kTraceFormatVersion = 1;
+inline constexpr uint32_t kTraceFormatVersion = 2;
 
 /**
- * Write @p trace to @p os in the copra binary trace format.
+ * Write @p trace to @p os in the copra binary trace format (v2).
  *
- * Layout: 8-byte magic "COPRATRC", u32 version, u64 seed, u32 name length,
- * name bytes, u64 record count, then one 18-byte packed record per dynamic
- * branch (u64 pc, u64 target, u8 kind, u8 taken). All integers are
- * little-endian.
+ * v2 is column-major so loaders can ingest whole fields at once:
+ * 8-byte magic "COPRATRC", u32 version, u32 name length, u64 seed,
+ * u64 record count, u64 conditional count, u64 payload checksum
+ * (FNV-1a over the column bytes — the column layout has no per-record
+ * structure to validate, so integrity is explicit), name bytes
+ * zero-padded to an 8-byte boundary, then four contiguous columns —
+ * pc (count × u64), target (count × u64), kind (count × u8), taken
+ * (count × u8). All integers are little-endian.
+ *
+ * v1 (read-only support) stored one 18-byte packed record per dynamic
+ * branch (u64 pc, u64 target, u8 kind, u8 taken) after a
+ * version/seed/name/count header.
  */
 void writeBinary(const Trace &trace, std::ostream &os);
 
 /**
- * Read a trace in the copra binary format.
+ * Read a trace in the copra binary format (v1 or v2).
  *
  * @throws std::runtime_error on bad magic, unsupported version, or
  * truncated input.
@@ -45,6 +54,19 @@ void saveBinary(const Trace &trace, const std::string &path);
 
 /** Load a binary-format trace from the file at @p path. */
 Trace loadBinary(const std::string &path);
+
+/**
+ * Load a v2 binary trace by memory-mapping @p path: the header is
+ * validated against the exact file size, the columns are adopted
+ * directly into the trace's structure-of-arrays image, and no
+ * per-record decode loop runs. The mapping is transient (the file may
+ * be deleted afterwards).
+ *
+ * @throws std::runtime_error when the file cannot be mapped, is not a
+ * v2 trace (including well-formed v1 files — callers fall back to
+ * loadBinary's re-decode), or is truncated / inconsistent.
+ */
+Trace loadBinaryMapped(const std::string &path);
 
 /**
  * Write @p trace as text: a "# name <name>" / "# seed <seed>" header, then
@@ -61,4 +83,3 @@ void writeText(const Trace &trace, std::ostream &os);
 Trace readText(std::istream &is);
 
 } // namespace copra::trace
-

@@ -1,0 +1,131 @@
+#include "trace/trace_soa.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace copra::trace {
+
+SoABlocks::SoABlocks(std::span<const BranchRecord> records)
+{
+    size_t n = records.size();
+    pc_.resize(n);
+    target_.resize(n);
+    kind_.resize(n);
+    taken_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const BranchRecord &rec = records[i];
+        pc_[i] = rec.pc;
+        target_[i] = rec.target;
+        kind_[i] = static_cast<uint8_t>(rec.kind);
+        taken_[i] = rec.taken ? 1 : 0;
+    }
+    indexSegments();
+}
+
+SoABlocks::SoABlocks(std::vector<uint64_t> pc, std::vector<uint64_t> target,
+                     std::vector<uint8_t> kind, std::vector<uint8_t> taken)
+    : pc_(std::move(pc)), target_(std::move(target)),
+      kind_(std::move(kind)), taken_(std::move(taken))
+{
+    panicIf(pc_.size() != target_.size() || pc_.size() != kind_.size() ||
+            pc_.size() != taken_.size(),
+            "SoABlocks columns must have equal length");
+    for (uint8_t k : kind_)
+        panicIf(k > static_cast<uint8_t>(BranchKind::Return),
+                "SoABlocks: invalid branch kind in column");
+    indexSegments();
+}
+
+void
+SoABlocks::indexSegments()
+{
+    constexpr auto cond = static_cast<uint8_t>(BranchKind::Conditional);
+    size_t n = kind_.size();
+    size_t i = 0;
+    while (i < n) {
+        if (kind_[i] != cond) {
+            ++i;
+            continue;
+        }
+        size_t end = i + 1;
+        while (end < n && kind_[end] == cond)
+            ++end;
+        condSegments_.push_back({i, end - i});
+        conditionals_ += end - i;
+        i = end;
+    }
+    indexStatics();
+}
+
+void
+SoABlocks::indexStatics()
+{
+    // Open-addressing pc → dense-index table, linear probing, grown at
+    // 50% load. Runs once per trace; the produced column lets every
+    // ledger pass accumulate with a plain indexed add.
+    size_t n = pc_.size();
+    staticIndex_.resize(n);
+    size_t cap = 256;
+    // slot: index+1 into staticPcs_, 0 = empty.
+    std::vector<uint32_t> slots(cap, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (staticPcs_.size() * 2 >= cap) {
+            cap *= 2;
+            slots.assign(cap, 0);
+            for (uint32_t id = 0; id < staticPcs_.size(); ++id) {
+                size_t j = mix64(staticPcs_[id]) & (cap - 1);
+                while (slots[j] != 0)
+                    j = (j + 1) & (cap - 1);
+                slots[j] = id + 1;
+            }
+        }
+        uint64_t pc = pc_[i];
+        size_t j = mix64(pc) & (cap - 1);
+        while (slots[j] != 0 && staticPcs_[slots[j] - 1] != pc)
+            j = (j + 1) & (cap - 1);
+        if (slots[j] == 0) {
+            staticPcs_.push_back(pc);
+            slots[j] = static_cast<uint32_t>(staticPcs_.size());
+        }
+        staticIndex_[i] = slots[j] - 1;
+    }
+}
+
+SoABlocks::BlockView
+SoABlocks::block(size_t i) const
+{
+    panicIf(i >= blockCount(), "SoABlocks::block index out of range");
+    size_t begin = i * kBlockRecords;
+    size_t count = std::min(kBlockRecords, size() - begin);
+    BlockView view;
+    view.firstRecord = begin;
+    view.pc = {pc_.data() + begin, count};
+    view.target = {target_.data() + begin, count};
+    view.kind = {kind_.data() + begin, count};
+    view.taken = {taken_.data() + begin, count};
+    return view;
+}
+
+BranchRecord
+SoABlocks::record(size_t i) const
+{
+    BranchRecord rec;
+    rec.pc = pc_[i];
+    rec.target = target_[i];
+    rec.kind = static_cast<BranchKind>(kind_[i]);
+    rec.taken = taken_[i] != 0;
+    return rec;
+}
+
+std::vector<BranchRecord>
+SoABlocks::toRecords() const
+{
+    std::vector<BranchRecord> records(size());
+    for (size_t i = 0; i < size(); ++i)
+        records[i] = record(i);
+    return records;
+}
+
+} // namespace copra::trace

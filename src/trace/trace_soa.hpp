@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structure-of-arrays view of a branch trace.
+ *
+ * The simulation hot loops stream one or two fields of every record
+ * (pc and taken), but the canonical in-memory layout is an array of
+ * 24-byte BranchRecord structs — so the AoS walk drags target/kind
+ * bytes through the cache for nothing. SoABlocks transposes a trace
+ * once into contiguous per-field columns (pc[], target[], kind[],
+ * taken[]) and precomputes the maximal runs of consecutive conditional
+ * branches, so every predictor pass reuses the same cache-friendly
+ * columns and batch boundaries. Columns are index-aligned with the
+ * record sequence: column k describes the same dynamic branch as
+ * records()[k].
+ *
+ * Kernels consume columns through fixed-size blocks (block()) so their
+ * per-batch scratch buffers stay L1-resident regardless of trace
+ * length.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/branch_record.hpp"
+
+namespace copra::trace {
+
+/** Column-major (structure-of-arrays) image of one branch trace. */
+class SoABlocks
+{
+  public:
+    /** Records per fixed-size block view (see block()). */
+    static constexpr size_t kBlockRecords = size_t(1) << 16;
+
+    /** A maximal run of consecutive conditional records. */
+    struct Segment
+    {
+        size_t begin = 0; //!< index of the first record of the run
+        size_t count = 0; //!< number of consecutive conditionals
+    };
+
+    /** One fixed-size window over the columns. */
+    struct BlockView
+    {
+        size_t firstRecord = 0;
+        std::span<const uint64_t> pc;
+        std::span<const uint64_t> target;
+        std::span<const uint8_t> kind;
+        std::span<const uint8_t> taken;
+    };
+
+    SoABlocks() = default;
+
+    /** Transpose @p records into columns and index conditional runs. */
+    explicit SoABlocks(std::span<const BranchRecord> records);
+
+    /**
+     * Adopt pre-built columns (trace loaders, chunked generation). All
+     * four vectors must have equal length; kind values must be valid
+     * BranchKind encodings.
+     */
+    SoABlocks(std::vector<uint64_t> pc, std::vector<uint64_t> target,
+              std::vector<uint8_t> kind, std::vector<uint8_t> taken);
+
+    /** Total records (all control-transfer kinds). */
+    size_t size() const { return pc_.size(); }
+
+    /** Number of conditional records across all segments. */
+    uint64_t conditionalCount() const { return conditionals_; }
+
+    /** Branch addresses, one per record. */
+    const uint64_t *pc() const { return pc_.data(); }
+
+    /** Taken-path targets, one per record. */
+    const uint64_t *target() const { return target_.data(); }
+
+    /** BranchKind encodings, one byte per record. */
+    const uint8_t *kind() const { return kind_.data(); }
+
+    /** Outcomes (0/1), one byte per record. */
+    const uint8_t *taken() const { return taken_.data(); }
+
+    /**
+     * Dense static-branch index, one entry per record: records with the
+     * same pc share one index in [0, staticCount()). Ledger passes
+     * accumulate per-branch tallies into a flat array addressed by this
+     * column, replacing a hashed map probe per dynamic branch with one
+     * indexed add — the pc → index hashing happens once per trace,
+     * here, and is reused by every predictor pass.
+     */
+    const uint32_t *staticIndex() const { return staticIndex_.data(); }
+
+    /** Distinct branch addresses; position = dense static index. */
+    std::span<const uint64_t> staticPcs() const { return staticPcs_; }
+
+    /** Number of distinct branch addresses in the trace. */
+    size_t staticCount() const { return staticPcs_.size(); }
+
+    /** Maximal conditional runs, in trace order. */
+    std::span<const Segment> conditionalSegments() const
+    {
+        return condSegments_;
+    }
+
+    /** Number of kBlockRecords-sized blocks covering the columns. */
+    size_t
+    blockCount() const
+    {
+        return (size() + kBlockRecords - 1) / kBlockRecords;
+    }
+
+    /** Fixed-size window @p i over the columns (last may be short). */
+    BlockView block(size_t i) const;
+
+    /** Materialize record @p i (AoS form). */
+    BranchRecord record(size_t i) const;
+
+    /** Materialize the whole trace back to AoS (round-trip, loaders). */
+    std::vector<BranchRecord> toRecords() const;
+
+  private:
+    void indexSegments();
+    void indexStatics();
+
+    std::vector<uint64_t> pc_;
+    std::vector<uint64_t> target_;
+    std::vector<uint8_t> kind_;
+    std::vector<uint8_t> taken_;
+    std::vector<Segment> condSegments_;
+    std::vector<uint32_t> staticIndex_;
+    std::vector<uint64_t> staticPcs_;
+    uint64_t conditionals_ = 0;
+};
+
+} // namespace copra::trace

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/logging.hpp"
@@ -111,6 +112,11 @@ Table::printCsv(std::ostream &os) const
 std::string
 formatFixed(double value, int precision)
 {
+    // NaN marks "no data" (e.g. accuracy over zero predicted branches,
+    // matching formatPercent's zero-denominator case); print it as n/a
+    // rather than the platform's nan spelling.
+    if (std::isnan(value))
+        return "n/a";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
     return buf;

@@ -14,6 +14,7 @@ loopTrace(uint64_t pc, uint32_t trip, uint32_t invocations)
 {
     panicIf(trip == 0, "loopTrace needs trip >= 1");
     Trace out("loop");
+    out.reserve(size_t(invocations) * trip);
     uint64_t head = pc >= 64 ? pc - 64 : 0;
     for (uint32_t inv = 0; inv < invocations; ++inv)
         for (uint32_t i = 0; i < trip; ++i)
@@ -25,6 +26,7 @@ Trace
 whileTrace(uint64_t pc, uint32_t trip, uint32_t invocations)
 {
     Trace out("while");
+    out.reserve(size_t(invocations) * (size_t(trip) + 1));
     for (uint32_t inv = 0; inv < invocations; ++inv) {
         for (uint32_t i = 0; i < trip; ++i)
             out.append({pc, pc + 64, BranchKind::Conditional, false});
@@ -38,6 +40,7 @@ periodicTrace(uint64_t pc, const std::vector<bool> &pattern, uint32_t repeats)
 {
     panicIf(pattern.empty(), "periodicTrace needs a non-empty pattern");
     Trace out("periodic");
+    out.reserve(size_t(repeats) * pattern.size());
     for (uint32_t rep = 0; rep < repeats; ++rep)
         for (bool bit : pattern)
             out.append({pc, pc + 64, BranchKind::Conditional, bit});
@@ -49,6 +52,7 @@ blockPatternTrace(uint64_t pc, uint32_t n, uint32_t m, uint32_t repeats)
 {
     panicIf(n == 0 || m == 0, "blockPatternTrace needs n, m >= 1");
     Trace out("block");
+    out.reserve(size_t(repeats) * (size_t(n) + m));
     for (uint32_t rep = 0; rep < repeats; ++rep) {
         for (uint32_t i = 0; i < n; ++i)
             out.append({pc, pc + 64, BranchKind::Conditional, true});
@@ -62,6 +66,7 @@ Trace
 biasedTrace(uint64_t pc, double p, uint64_t count, uint64_t seed)
 {
     Trace out("biased");
+    out.reserve(count);
     Rng rng(seed);
     for (uint64_t i = 0; i < count; ++i)
         out.append({pc, pc + 64, BranchKind::Conditional, rng.bernoulli(p)});
@@ -73,6 +78,7 @@ correlatedPairTrace(uint64_t pc_y, uint64_t pc_x, double p1, double p2,
                     uint64_t pairs, uint64_t seed)
 {
     Trace out("fig1a");
+    out.reserve(pairs * 2);
     Rng rng(seed);
     for (uint64_t i = 0; i < pairs; ++i) {
         bool cond1 = rng.bernoulli(p1);
@@ -89,6 +95,7 @@ inPathTrace(uint64_t base_pc, double p1, double p2, double p3,
             uint64_t iterations, uint64_t seed)
 {
     Trace out("fig2");
+    out.reserve(iterations * 5); // <= 5 records per iteration
     Rng rng(seed);
     uint64_t pc_y = base_pc;
     uint64_t pc_z = base_pc + 4;
@@ -122,6 +129,10 @@ Trace
 interleave(const std::vector<Trace> &traces)
 {
     Trace out("interleaved");
+    size_t total = 0;
+    for (const Trace &t : traces)
+        total += t.size();
+    out.reserve(total);
     std::vector<size_t> cursor(traces.size(), 0);
     bool progressed = true;
     while (progressed) {

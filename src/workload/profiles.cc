@@ -349,7 +349,7 @@ makeBenchmarkTrace(const std::string &name, uint64_t branches, uint64_t seed)
     BenchmarkProfile profile = benchmarkProfile(name);
     Program program = buildProgram(profile);
     uint64_t exec_seed = seed ? seed : profile.buildSeed * 77 + 13;
-    return program.run(name, branches, exec_seed);
+    return program.runParallel(name, branches, exec_seed);
 }
 
 const PaperReference &

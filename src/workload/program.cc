@@ -1,6 +1,11 @@
 #include "workload/program.hpp"
 
+#include <algorithm>
+
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace copra::workload {
 
@@ -250,6 +255,41 @@ Program::run(const std::string &name, uint64_t budget_conditionals,
         panicIf(out.size() == before,
                 "driver emitted no records; program would never terminate");
     }
+    return out;
+}
+
+trace::Trace
+Program::runParallel(const std::string &name, uint64_t budget_conditionals,
+                     uint64_t seed) const
+{
+    // Chunk size trades fan-out granularity against splice frequency:
+    // each chunk restarts the condition sources and trip states from a
+    // fresh seed, so chunks must be long enough that the re-warmed
+    // splice points are a vanishing fraction of the stream.
+    constexpr uint64_t kChunkConditionals = uint64_t(1) << 18;
+    if (budget_conditionals <= kChunkConditionals)
+        return run(name, budget_conditionals, seed);
+
+    size_t chunks = static_cast<size_t>(
+        (budget_conditionals + kChunkConditionals - 1) / kChunkConditionals);
+    std::vector<trace::Trace> parts(chunks);
+    parallelFor(globalPool(), chunks, [&](size_t i) {
+        uint64_t begin = uint64_t(i) * kChunkConditionals;
+        uint64_t budget =
+            std::min(kChunkConditionals, budget_conditionals - begin);
+        // Chunk 0 replays run()'s exact stream; later chunks draw
+        // decorrelated streams from a seed mixed with the chunk index.
+        uint64_t chunk_seed =
+            i == 0 ? seed : mix64(seed ^ (0x9E3779B97F4A7C15ull * i));
+        parts[i] = run(name, budget, chunk_seed);
+    });
+
+    trace::Trace out(name, seed);
+    out.reserve(budget_conditionals + budget_conditionals / 4);
+    for (const trace::Trace &part : parts)
+        out.appendTrace(part);
+    obs::count(obs::ids().traceGenChunks, chunks);
+    obs::count(obs::ids().traceGenConditionals, budget_conditionals);
     return out;
 }
 

@@ -338,6 +338,20 @@ class Program
     trace::Trace run(const std::string &name, uint64_t budget_conditionals,
                      uint64_t seed) const;
 
+    /**
+     * Parallel chunked variant of run(). The budget is split into fixed
+     * chunks of conditional branches; each chunk is generated by an
+     * independent run() on the global thread pool and the chunks are
+     * concatenated in index order. Chunk 0 uses @p seed verbatim — a
+     * budget that fits in one chunk returns run()'s stream byte for
+     * byte — and later chunks derive their seeds from (seed, index), so
+     * the chunk plan, and therefore the trace, depends only on
+     * (budget_conditionals, seed), never on the worker thread count.
+     */
+    trace::Trace runParallel(const std::string &name,
+                             uint64_t budget_conditionals,
+                             uint64_t seed) const;
+
   private:
     std::vector<ConditionSpec> conditions_;
     std::vector<TripSpec> tripSites_;

@@ -168,7 +168,8 @@ TEST(Fuzz, ReaderRejectsImplausibleHeaderWithoutHugeAllocation)
     std::ostringstream os;
     trace::writeBinary(t, os);
     std::string bytes = os.str();
-    bytes[20] = bytes[21] = bytes[22] = bytes[23] = char(0xff);
+    // v2 name_len field lives at offset 12..15 (little-endian).
+    bytes[12] = bytes[13] = bytes[14] = bytes[15] = char(0xff);
     std::istringstream in(bytes);
     EXPECT_THROW(trace::readBinary(in), std::runtime_error);
 }

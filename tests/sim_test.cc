@@ -3,6 +3,8 @@
  * Unit tests for the simulation driver and the per-branch ledger.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "predictor/static_pred.hpp"
@@ -123,13 +125,30 @@ TEST(Driver, RunAllDeliversObserves)
     EXPECT_EQ(b.observes, 3);
 }
 
-TEST(Driver, EmptyTraceGivesZeroResult)
+TEST(Driver, EmptyTraceGivesUndefinedAccuracy)
 {
     trace::Trace empty;
     AlwaysTaken pred;
     auto result = run(empty, pred);
     EXPECT_EQ(result.dynamicBranches, 0u);
-    EXPECT_DOUBLE_EQ(result.accuracyPercent(), 0.0);
+    // No conditional was predicted, so accuracy is N/A — NaN, not a
+    // misleading 0% — and defined() lets rankings skip the result.
+    EXPECT_FALSE(result.defined());
+    EXPECT_TRUE(std::isnan(result.accuracyPercent()));
+    EXPECT_TRUE(std::isnan(result.mispredictPercent()));
+}
+
+TEST(Driver, NonConditionalOnlyTraceGivesUndefinedAccuracy)
+{
+    trace::Trace t("jumps-only", 1);
+    t.append({0x100, 0x200, trace::BranchKind::Jump, true});
+    t.append({0x104, 0x300, trace::BranchKind::Call, true});
+    t.append({0x108, 0x400, trace::BranchKind::Return, true});
+    AlwaysTaken pred;
+    auto result = run(t, pred);
+    EXPECT_EQ(result.dynamicBranches, 0u);
+    EXPECT_FALSE(result.defined());
+    EXPECT_TRUE(std::isnan(result.accuracyPercent()));
 }
 
 TEST(Ledger, RecordAccumulates)

@@ -145,19 +145,20 @@ TEST_F(TraceCacheTest, MalformedHeaderVariantsAreDroppedAndDeleted)
          [](std::string &b) { b[3] ^= 0x20; }},
         {"implausible name length",
          [](std::string &b) {
-             // name_len field lives at offset 20..23 (little-endian).
-             b[20] = b[21] = b[22] = b[23] = char(0xff);
+             // v2 name_len field lives at offset 12..15 (little-endian).
+             b[12] = b[13] = b[14] = b[15] = char(0xff);
          }},
         {"inflated record count",
          [](std::string &b) {
-             // count is the u64 right after the 6-byte name "sample".
-             b[24 + 6 + 7] = char(0x7f);
+             // count is the u64 at header offset 24..31.
+             b[24 + 7] = char(0x7f);
          }},
         {"poisoned record kind",
          [](std::string &b) {
-             // First record's kind byte: header(24) + name(6) +
-             // count(8) + pc(8) + target(8).
-             b[24 + 6 + 8 + 16] = char(0x3f);
+             // First kind byte of the 4-record column payload:
+             // header(48, incl. checksum) + padded name(8) +
+             // pc column(32) + target column(32).
+             b[48 + 8 + 32 + 32] = char(0x3f);
          }},
     };
 

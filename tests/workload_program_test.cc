@@ -79,6 +79,49 @@ TEST(ProgramModel, DifferentSeedsDiffer)
     EXPECT_LT(same, 450); // overwhelmingly unlikely to match
 }
 
+TEST(ProgramModel, RunParallelSmallBudgetMatchesRunExactly)
+{
+    // Budgets that fit in one generation chunk must replay run()'s
+    // stream byte for byte — this keeps every golden and test budget
+    // identical to the serial generator.
+    Program prog = singleIfProgram(ConditionSpec::biased(0.6));
+    trace::Trace serial = prog.run("p", 5000, 11);
+    trace::Trace parallel = prog.runParallel("p", 5000, 11);
+    EXPECT_EQ(parallel.name(), serial.name());
+    EXPECT_EQ(parallel.seed(), serial.seed());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(parallel[i], serial[i]) << "record " << i;
+}
+
+TEST(ProgramModel, RunParallelMultiChunkIsDeterministic)
+{
+    // A budget spanning several chunks exercises the fan-out; pool
+    // scheduling varies between calls, so equality here checks the
+    // index-ordered concatenation really is schedule-independent.
+    Program prog = singleIfProgram(ConditionSpec::biased(0.5));
+    const uint64_t budget = 600000; // > 2 chunks of 2^18
+    trace::Trace a = prog.runParallel("p", budget, 3);
+    trace::Trace b = prog.runParallel("p", budget, 3);
+    EXPECT_EQ(a.conditionalCount(), budget);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(ProgramModel, RunParallelChunkZeroReplaysTheSerialStream)
+{
+    // Chunk 0 keeps the caller's seed, so the first chunk of a
+    // multi-chunk trace is exactly the serial trace of one chunk.
+    Program prog = singleIfProgram(ConditionSpec::biased(0.5));
+    const uint64_t chunk = uint64_t(1) << 18;
+    trace::Trace parallel = prog.runParallel("p", chunk * 2 + 100, 9);
+    trace::Trace serial = prog.run("p", chunk, 9);
+    ASSERT_GE(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(parallel[i], serial[i]) << "record " << i;
+}
+
 TEST(ProgramModel, ForLoopEmitsForTypePattern)
 {
     Program prog;

@@ -96,11 +96,35 @@ report(std::vector<Finding> &out, const FileScan &scan, int line,
     out.push_back({scan.rel, line, rule, message});
 }
 
+/** True for identifiers that are unmistakably raw SIMD intrinsics:
+ * `_mm...` calls and `__m128/__m256/__m512` vector types (x86), which
+ * only exist via <immintrin.h>. NEON spellings are too generic to
+ * token-match safely, so NEON is policed via its header instead. */
+bool
+isIntrinsicToken(const std::string &t)
+{
+    if (t.rfind("_mm", 0) == 0)
+        return true;
+    return t.rfind("__m", 0) == 0 && t.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(t[3]));
+}
+
+/** The only TUs allowed to touch raw intrinsics (kernels.hpp seam). */
+bool
+isKernelTu(const std::string &rel)
+{
+    return rel == "src/predictor/kernels_avx2.cc" ||
+        rel == "src/predictor/kernels_neon.cc";
+}
+
 /**
  * Rule banned-api: entropy and environment doorways are forbidden in
  * result-producing code. Clock types anywhere in scope need an
  * explicit allow() marking them as timing-only; getenv is legal only
- * under src/util (the env.hpp doorway).
+ * under src/util (the env.hpp doorway). Raw SIMD intrinsics (and their
+ * headers) are confined to the dedicated kernel TUs so vector code
+ * stays behind the predictor/kernels.hpp dispatch seam, where the
+ * scalar twin and the differential gate can police it.
  */
 void
 ruleBannedApi(const FileScan &scan, std::vector<Finding> &out)
@@ -109,8 +133,21 @@ ruleBannedApi(const FileScan &scan, std::vector<Finding> &out)
         inDir(scan.rel, "src/predictor/") || inDir(scan.rel, "src/core/");
     bool getenvScope = inDir(scan.rel, "src/") &&
         !inDir(scan.rel, "src/util/");
-    if (!resultScope && !getenvScope)
+    bool intrinsicScope = !isKernelTu(scan.rel);
+    if (!resultScope && !getenvScope && !intrinsicScope)
         return;
+
+    if (intrinsicScope) {
+        for (const Include &inc : scan.includeList) {
+            if (inc.target == "immintrin.h" ||
+                inc.target == "arm_neon.h") {
+                report(out, scan, inc.line, "banned-api",
+                       "<" + inc.target + "> outside the kernel TUs: "
+                       "raw SIMD lives only in kernels_avx2.cc / "
+                       "kernels_neon.cc behind predictor/kernels.hpp");
+            }
+        }
+    }
 
     const auto &toks = scan.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
@@ -124,6 +161,13 @@ ruleBannedApi(const FileScan &scan, std::vector<Finding> &out)
               toks[i - 2].text == "-"));
         bool called = i + 1 < toks.size() && toks[i + 1].text == "(";
 
+        if (intrinsicScope && isIntrinsicToken(t) && !member) {
+            report(out, scan, toks[i].line, "banned-api",
+                   "raw SIMD intrinsic '" + t + "' outside the kernel "
+                   "TUs: add it to kernels_avx2.cc/kernels_neon.cc and "
+                   "dispatch through predictor/kernels.hpp");
+            continue;
+        }
         if (getenvScope && t == "getenv" && (qualified || called) &&
             !member) {
             report(out, scan, toks[i].line, "banned-api",
@@ -458,7 +502,8 @@ ruleCatalog()
          "the file-level include graph is acyclic"},
         {"banned-api",
          "no rand/srand/time/clock/random_device/*_clock in src/{sim,"
-         "predictor,core}; getenv only under src/util"},
+         "predictor,core}; getenv only under src/util; raw SIMD "
+         "intrinsics only in the kernels_avx2/kernels_neon TUs"},
         {"unordered-iter",
          "no range-for over std::unordered_{map,set} in src/ or bench/ "
          "without an allow() justification"},
