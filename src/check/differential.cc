@@ -14,6 +14,9 @@
 #include "predictor/fixed_pattern.hpp"
 #include "predictor/hybrid.hpp"
 #include "predictor/loop_predictor.hpp"
+#include "predictor/perceptron.hpp"
+#include "predictor/tage.hpp"
+#include "predictor/tournament.hpp"
 #include "predictor/two_level.hpp"
 #include "sim/driver.hpp"
 #include "util/logging.hpp"
@@ -318,6 +321,63 @@ twoLevelPair(const TwoLevelConfig &config)
             [config] { return std::make_unique<RefTwoLevel>(config); }};
 }
 
+/**
+ * The small-geometry TAGE used by the default pairs and the allocation
+ * self-test: tiny tables so fuzzed tag aliasing lands, a short aging
+ * period so the use-bit halving path runs inside a 2000-branch trace.
+ */
+predictor::TageConfig
+smallTageConfig()
+{
+    predictor::TageConfig config;
+    config.baseBits = 6;
+    config.tableBits = 5;
+    config.tagBits = 5;
+    config.numTables = 4;
+    config.minHistory = 3;
+    config.maxHistory = 20;
+    config.agingPeriod = 512;
+    config.label = "tage(small)";
+    return config;
+}
+
+/** Small hashed perceptron for the pairs and the wraparound self-test:
+ * a tight threshold counter so adaptation fires within one fuzz trace,
+ * and narrow weight rails so saturation (the path the wrap bug lives
+ * on) is reached routinely instead of needing 64 unidirectional
+ * trainings of one weight. */
+predictor::PerceptronConfig
+smallPerceptronConfig()
+{
+    predictor::PerceptronConfig config;
+    config.tableBits = 6;
+    config.numTables = 4;
+    config.segmentBits = 5;
+    config.weightMin = -8;
+    config.weightMax = 7;
+    config.initialTheta = 8;
+    config.thetaCounterSat = 32;
+    config.label = "perceptron(small)";
+    return config;
+}
+
+/** Small tournament with a 2-set 2-way BTB: misses and evictions are
+ * constant under fuzz, so the miss model is differentially visible. */
+predictor::TournamentConfig
+smallTournamentConfig()
+{
+    predictor::TournamentConfig config;
+    config.globalHistory = 5;
+    config.localHistory = 5;
+    config.localBhtBits = 4;
+    config.localSelectBits = 2;
+    config.chooserBits = 4;
+    config.btb = predictor::BtbConfig::finite(2, 2);
+    config.returnStackDepth = 4;
+    config.label = "tournament(small)";
+    return config;
+}
+
 } // namespace
 
 std::vector<CheckPair>
@@ -382,6 +442,44 @@ defaultCheckPairs()
                  std::make_unique<RefTwoLevel>(TwoLevelConfig::pas(5, 4, 2)),
                  6);
          }});
+
+    // Modern roster, small geometries (see the config helpers above).
+    {
+        predictor::TageConfig config = smallTageConfig();
+        pairs.push_back(
+            {config.label,
+             [config] { return std::make_unique<predictor::Tage>(config); },
+             [config] { return std::make_unique<RefTage>(config); }});
+    }
+    {
+        predictor::PerceptronConfig config = smallPerceptronConfig();
+        pairs.push_back(
+            {config.label,
+             [config] {
+                 return std::make_unique<predictor::Perceptron>(config);
+             },
+             [config] { return std::make_unique<RefPerceptron>(config); }});
+    }
+    {
+        predictor::TournamentConfig config = smallTournamentConfig();
+        pairs.push_back(
+            {config.label,
+             [config] {
+                 return std::make_unique<predictor::Tournament>(config);
+             },
+             [config] { return std::make_unique<RefTournament>(config); }});
+        predictor::TournamentConfig perfect = smallTournamentConfig();
+        perfect.btb = predictor::BtbConfig::perfect();
+        perfect.label = "tournament(perfect-btb)";
+        pairs.push_back(
+            {perfect.label,
+             [perfect] {
+                 return std::make_unique<predictor::Tournament>(perfect);
+             },
+             [perfect] {
+                 return std::make_unique<RefTournament>(perfect);
+             }});
+    }
 
     return pairs;
 }
@@ -637,6 +735,74 @@ class BuggyLoop : public predictor::Predictor
     std::unordered_map<uint64_t, State> table_;
 };
 
+/**
+ * TAGE whose freshly allocated entries start weakly *against* the
+ * observed outcome. Lookup, training, aging and the provider chain are
+ * all inherited intact — only allocateEntry (the allocation path) is
+ * wrong, so catching this proves the fuzz corpus actually drives
+ * mispredict-triggered allocations.
+ */
+class TageAllocWrongDirectionBug : public predictor::Tage
+{
+  public:
+    using Tage::Tage;
+
+  protected:
+    void
+    allocateEntry(Entry &slot, uint16_t tag, bool taken) override
+    {
+        slot.tag = tag;
+        uint8_t weak_taken =
+            uint8_t(1) << (config().counterBits - 1);
+        // BUG: inverted — initializes weakly against the outcome.
+        slot.ctr = taken ? uint8_t(weak_taken - 1) : weak_taken;
+        slot.useful = 0;
+    }
+};
+
+/**
+ * Perceptron whose weights wrap at the saturation bounds instead of
+ * clamping — the classic missing-saturation bug, visible only once
+ * training pushes some weight to a rail.
+ */
+class PerceptronWeightWrapBug : public predictor::Perceptron
+{
+  public:
+    using Perceptron::Perceptron;
+
+  protected:
+    int
+    clampWeight(int weight, bool taken) const override
+    {
+        int next = weight + (taken ? 1 : -1);
+        // BUG: wraps to the opposite rail instead of saturating.
+        if (next > config().weightMax)
+            return config().weightMin;
+        if (next < config().weightMin)
+            return config().weightMax;
+        return next;
+    }
+};
+
+/**
+ * Tournament with the BTB miss model disabled: taken predictions
+ * survive BTB misses. Both direction components and the chooser are
+ * inherited intact, so only traces that actually miss the (tiny) BTB
+ * expose it.
+ */
+class TournamentBtbIgnoreMissBug : public predictor::Tournament
+{
+  public:
+    using Tournament::Tournament;
+
+  protected:
+    bool
+    btbHit(uint64_t) const override
+    {
+        return true; // BUG: every target is assumed buffered
+    }
+};
+
 } // namespace
 
 const char *
@@ -651,6 +817,12 @@ injectedBugName(InjectedBug bug)
         return "loop-trip-off-by-one";
       case InjectedBug::GshareSoaPrematureTrain:
         return "gshare-soa-premature-train";
+      case InjectedBug::TageAllocWrongDirection:
+        return "tage-alloc-wrong-direction";
+      case InjectedBug::PerceptronWeightWrap:
+        return "perceptron-weight-wrap";
+      case InjectedBug::TournamentBtbIgnoreMiss:
+        return "tournament-btb-ignore-miss";
     }
     return "unknown";
 }
@@ -685,6 +857,37 @@ injectedBugPair(InjectedBug bug)
                         config);
                 },
                 [config] { return std::make_unique<RefTwoLevel>(config); }};
+      }
+      case InjectedBug::TageAllocWrongDirection: {
+        predictor::TageConfig config = smallTageConfig();
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<TageAllocWrongDirectionBug>(
+                        config);
+                },
+                [config] { return std::make_unique<RefTage>(config); }};
+      }
+      case InjectedBug::PerceptronWeightWrap: {
+        predictor::PerceptronConfig config = smallPerceptronConfig();
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<PerceptronWeightWrapBug>(
+                        config);
+                },
+                [config] {
+                    return std::make_unique<RefPerceptron>(config);
+                }};
+      }
+      case InjectedBug::TournamentBtbIgnoreMiss: {
+        predictor::TournamentConfig config = smallTournamentConfig();
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<TournamentBtbIgnoreMissBug>(
+                        config);
+                },
+                [config] {
+                    return std::make_unique<RefTournament>(config);
+                }};
       }
     }
     panic("unknown injected bug");

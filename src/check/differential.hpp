@@ -166,10 +166,17 @@ enum class InjectedBug : uint8_t
     GshareSoaPrematureTrain, //!< SoA kernel path trains the counter and
                              //!< history before predicting; every other
                              //!< path is untouched
+    TageAllocWrongDirection, //!< freshly allocated TAGE entries start
+                             //!< weakly *against* the observed outcome;
+                             //!< only the allocation path is wrong
+    PerceptronWeightWrap,    //!< perceptron weights wrap at saturation
+                             //!< instead of clamping
+    TournamentBtbIgnoreMiss, //!< tournament BTB miss model disabled:
+                             //!< taken predictions survive BTB misses
 };
 
 /** Number of InjectedBug values. */
-inline constexpr unsigned kInjectedBugCount = 4;
+inline constexpr unsigned kInjectedBugCount = 7;
 
 /** Stable name of an injected bug (CLI selector). */
 const char *injectedBugName(InjectedBug bug);

@@ -164,6 +164,79 @@ mixedKinds(Trace &out, Rng &rng, uint64_t n)
 }
 
 void
+tagAliasing(Trace &out, Rng &rng, uint64_t n)
+{
+    // Strides tuned for small *tagged* tables (the differential TAGE
+    // runs 5 index bits and 5 tag bits): a stride of (4 << idx_bits)
+    // keeps the pc contribution to the index constant while tags vary,
+    // and (4 << (idx_bits + tag_bits)) aliases pc bits out of both —
+    // distinct branches then fight over the same tagged entry, driving
+    // the allocate / useful-counter / eviction paths hard.
+    unsigned idx_bits = 4 + static_cast<unsigned>(rng.index(4)); // 4..7
+    unsigned tag_bits = 4 + static_cast<unsigned>(rng.index(4)); // 4..7
+    uint64_t stride = rng.bernoulli(0.5)
+        ? uint64_t(4) << idx_bits
+        : uint64_t(4) << (idx_bits + tag_bits);
+    size_t npcs = 2 + rng.index(7); // 2..8 warring branches
+    uint64_t base = rng.index(1 << 16) * 4;
+    // Mostly-biased branches: stable enough that tagged entries earn
+    // useful credit, conflicting enough that allocations keep firing.
+    std::vector<double> bias(npcs);
+    for (double &b : bias)
+        b = rng.bernoulli(0.5) ? 0.85 : 0.15;
+    for (uint64_t i = 0; i < n; ++i) {
+        size_t which = rng.index(npcs);
+        uint64_t pc = base + which * stride;
+        out.append(cond(pc, pc + 8, rng.bernoulli(bias[which])));
+    }
+}
+
+void
+deepHistory(Trace &out, Rng &rng, uint64_t n)
+{
+    // Sink outcomes are the parity of outcomes 100..300 branches back —
+    // beyond every folded-history window in the roster (TAGE max
+    // geometric length is 80, perceptron history is 56), so no predictor
+    // can learn them; what the shape tests is that *long* histories fold
+    // identically in optimized (packed-word) and reference (bit-vector)
+    // implementations, including the cross-word seams. Long constant
+    // runs are spliced in to flush every fold to a known state.
+    unsigned depth = 100 + static_cast<unsigned>(rng.index(201)); // 100..300
+    size_t nsrc = 1 + rng.index(4);
+    uint64_t sink_pc = 0xa000;
+    std::vector<bool> all;
+    all.reserve(n);
+    uint64_t emitted = 0;
+    while (emitted < n) {
+        if (all.size() > depth && rng.bernoulli(0.02)) {
+            // Constant run: 40..200 identical outcomes sweep the packed
+            // history words end to end.
+            bool dir = rng.bernoulli(0.5);
+            uint64_t run = 40 + rng.index(161);
+            for (uint64_t j = 0; j < run && emitted < n; ++j, ++emitted) {
+                uint64_t pc = 0xb000 + rng.index(4) * 4;
+                all.push_back(dir);
+                out.append(cond(pc, pc - 32, dir));
+            }
+            continue;
+        }
+        bool is_sink = all.size() > depth && rng.bernoulli(0.3);
+        uint64_t pc;
+        bool taken;
+        if (is_sink) {
+            pc = sink_pc;
+            taken = all[all.size() - depth] ^ all[all.size() - 1];
+        } else {
+            pc = 0xa100 + rng.index(nsrc) * 4;
+            taken = rng.bernoulli(0.5);
+        }
+        all.push_back(taken);
+        out.append(cond(pc, pc + 4 + rng.index(16) * 4, taken));
+        ++emitted;
+    }
+}
+
+void
 randomSoup(Trace &out, Rng &rng, uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i) {
@@ -188,6 +261,8 @@ fuzzShapeName(FuzzShape shape)
       case FuzzShape::CorrelationChain: return "correlation-chain";
       case FuzzShape::MixedKinds:       return "mixed-kinds";
       case FuzzShape::RandomSoup:       return "random-soup";
+      case FuzzShape::TagAliasing:      return "tag-aliasing";
+      case FuzzShape::DeepHistory:      return "deep-history";
     }
     return "unknown";
 }
@@ -214,6 +289,12 @@ appendFuzzSegment(trace::Trace &out, FuzzShape shape, Rng &rng,
         break;
       case FuzzShape::RandomSoup:
         randomSoup(out, rng, conditionals);
+        break;
+      case FuzzShape::TagAliasing:
+        tagAliasing(out, rng, conditionals);
+        break;
+      case FuzzShape::DeepHistory:
+        deepHistory(out, rng, conditionals);
         break;
     }
 }

@@ -40,10 +40,14 @@ enum class FuzzShape : uint8_t
     CorrelationChain,   //!< outcomes = xor of recent source branches
     MixedKinds,         //!< jumps/calls/returns splitting batch runs
     RandomSoup,         //!< everything uniformly random
+    TagAliasing,        //!< pc strides hitting same-index/same-tag slots
+                        //!< of small tagged tables (TAGE edge paths)
+    DeepHistory,        //!< correlations at distances beyond any folded
+                        //!< history window, plus fold-flushing runs
 };
 
 /** Number of FuzzShape values (for enumeration in tests). */
-inline constexpr unsigned kFuzzShapeCount = 6;
+inline constexpr unsigned kFuzzShapeCount = 8;
 
 /** Human-readable shape name. */
 const char *fuzzShapeName(FuzzShape shape);

@@ -29,10 +29,22 @@
 #include <string>
 #include <vector>
 
+#include "predictor/perceptron.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/tage.hpp"
+#include "predictor/tournament.hpp"
 #include "predictor/two_level.hpp"
 
 namespace copra::check {
+
+/**
+ * The reference history fold: XOR of consecutive @p width bit chunks of
+ * the newest @p length outcomes, newest outcome in bit 0 of the first
+ * chunk (the one-line spec predictor/history_fold.hpp implements with
+ * packed words). @p history holds outcomes newest-last.
+ */
+uint64_t refFold(const std::vector<bool> &history, unsigned length,
+                 unsigned width);
 
 /**
  * Reference two-level adaptive predictor covering the whole
@@ -170,6 +182,118 @@ class RefHybrid : public predictor::Predictor
     std::map<uint64_t, int> chooser_; // chooser index -> counter 0..3
     bool lastA_ = false;
     bool lastB_ = false;
+};
+
+/**
+ * Reference TAGE-lite predictor sharing the optimized model's TageConfig
+ * as data (geometry only; none of the optimized logic is reused). Tables
+ * are sparse maps whose absent entries hold the documented initial state
+ * — which for a tagged table is a *real* entry with tag 0, counter 0,
+ * useful 0, exactly as the optimized dense arrays initialize.
+ */
+class RefTage : public predictor::Predictor
+{
+  public:
+    explicit RefTage(const predictor::TageConfig &config);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    struct Entry
+    {
+        int tag = 0;
+        int ctr = 0;
+        int useful = 0;
+    };
+
+    struct Lookup
+    {
+        int provider = -1; //!< tagged table index, -1 = base
+        bool prediction = false;
+        bool altPrediction = false;
+    };
+
+    Entry entryOf(unsigned table, uint64_t index) const;
+    uint64_t indexOf(unsigned table, uint64_t pc) const;
+    int tagOf(unsigned table, uint64_t pc) const;
+    int baseCounterOf(uint64_t pc) const;
+    Lookup lookup(uint64_t pc) const;
+
+    predictor::TageConfig config_;
+    std::map<uint64_t, int> base_; // base index -> 2-bit counter
+    std::vector<std::map<uint64_t, Entry>> tables_;
+    std::vector<bool> history_; // newest last
+    uint64_t updates_ = 0;
+};
+
+/**
+ * Reference hashed perceptron sharing the optimized model's
+ * PerceptronConfig as data: sparse weight maps, the refFold history
+ * hash, and explicit integer clamping.
+ */
+class RefPerceptron : public predictor::Predictor
+{
+  public:
+    explicit RefPerceptron(const predictor::PerceptronConfig &config);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    uint64_t indexOf(unsigned table, uint64_t pc) const;
+    int weightOf(unsigned table, uint64_t index) const;
+    int sumOf(uint64_t pc) const;
+
+    predictor::PerceptronConfig config_;
+    std::vector<std::map<uint64_t, int>> tables_;
+    std::vector<bool> history_; // newest last
+    int theta_;
+    int thetaCtr_ = 0;
+};
+
+/**
+ * Reference tournament predictor: RefTwoLevel components, a sparse
+ * chooser (init weakly-not-taken = 1, selecting the local component),
+ * and a clarity-first re-implementation of the set-associative LRU BTB
+ * (predictor/btb.hpp semantics: per-access tick, lowest-lastUse victim,
+ * first index on ties). The return-address stack is stats-only in the
+ * optimized model, so the reference omits it.
+ */
+class RefTournament : public predictor::Predictor
+{
+  public:
+    explicit RefTournament(const predictor::TournamentConfig &config);
+
+    bool predict(const trace::BranchRecord &br) override;
+    void update(const trace::BranchRecord &br, bool taken) override;
+    void observe(const trace::BranchRecord &br) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    struct BtbEntry
+    {
+        uint64_t pc = 0;
+        uint64_t lastUse = 0;
+    };
+
+    bool btbHit(uint64_t pc) const;
+    void btbAccess(uint64_t pc);
+
+    predictor::TournamentConfig config_;
+    RefTwoLevel global_;
+    RefTwoLevel local_;
+    std::map<uint64_t, int> chooser_; // chooser index -> counter 0..3
+    // BTB: perfect mode is a set of pcs; finite mode is per-set entry
+    // lists in insertion order (matching the optimized table's ways).
+    std::map<uint64_t, bool> btbPerfect_;
+    std::map<uint64_t, std::vector<BtbEntry>> btbSets_;
+    uint64_t btbTick_ = 0;
 };
 
 } // namespace copra::check

@@ -2,6 +2,7 @@
 
 #include "obs/instruments.hpp"
 #include "obs/registry.hpp"
+#include "predictor/factory.hpp"
 #include "predictor/interference_free.hpp"
 #include "predictor/two_level.hpp"
 #include "sim/driver.hpp"
@@ -162,6 +163,20 @@ BenchmarkExperiment::idealStaticLedgerRef()
     if (!idealStatic_)
         idealStatic_ = idealStaticLedger(gshareLedger());
     return *idealStatic_;
+}
+
+const sim::Ledger &
+BenchmarkExperiment::ledgerFor(const std::string &spec)
+{
+    auto it = specLedgers_.find(spec);
+    if (it == specLedgers_.end()) {
+        obs::PhaseTimer guard = predictorGuard(times_);
+        predictor::PredictorPtr pred = predictor::makePredictor(spec);
+        sim::Ledger ledger;
+        sim::run(trace_, *pred, &ledger);
+        it = specLedgers_.emplace(spec, std::move(ledger)).first;
+    }
+    return it->second;
 }
 
 const SelectiveOracle &

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -161,6 +162,15 @@ class BenchmarkExperiment
     /** Ideal static predictor (majority direction per branch). */
     const sim::Ledger &idealStaticLedgerRef();
 
+    /**
+     * Ledger of an arbitrary factory-spec predictor (predictor/factory
+     * grammar, e.g. "tage" or "perceptron:tbits=12"), computed on first
+     * use and cached by spec string. The modern-roster and H2P analyses
+     * (bench/fig10_modern_roster, core/h2p.hpp) run through this so
+     * repeated queries against one benchmark share simulation passes.
+     */
+    const sim::Ledger &ledgerFor(const std::string &spec);
+
     /** Selective-history oracle (sizes 1..3). */
     const SelectiveOracle &oracle();
 
@@ -192,6 +202,7 @@ class BenchmarkExperiment
     std::optional<sim::Ledger> pas_;
     std::optional<sim::Ledger> ifGshare_;
     std::optional<sim::Ledger> idealStatic_;
+    std::map<std::string, sim::Ledger> specLedgers_; // keyed by spec
     std::unique_ptr<SelectiveOracle> oracle_;
     std::unique_ptr<PaClassifier> classifier_;
     PhaseTimes times_;

@@ -1,0 +1,159 @@
+#include "core/h2p.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "obs/instruments.hpp"
+#include "util/logging.hpp"
+
+namespace copra::core {
+
+double
+H2pReport::staticFraction() const
+{
+    return staticBranches
+        ? static_cast<double>(branches.size()) / staticBranches
+        : 0.0;
+}
+
+double
+H2pReport::mispredictFraction() const
+{
+    return totalMispredicts
+        ? static_cast<double>(h2pMispredicts) / totalMispredicts
+        : 0.0;
+}
+
+H2pReport
+identifyH2p(const sim::Ledger &ledger, const H2pCriteria &criteria)
+{
+    H2pReport report;
+    report.criteria = criteria;
+    report.staticBranches = ledger.staticBranches();
+    // copra-lint: allow(unordered-iter) -- collected then sorted with a deterministic tie-break
+    for (const auto &[pc, tally] : ledger.table()) {
+        report.dynamicBranches += tally.execs;
+        uint64_t mispredicts = tally.execs - tally.correct;
+        report.totalMispredicts += mispredicts;
+        if (tally.execs < criteria.minExecs)
+            continue;
+        if (tally.accuracy() >= criteria.accuracyThreshold)
+            continue;
+        report.branches.push_back(
+            {pc, tally.execs, mispredicts, tally.accuracy()});
+        report.h2pMispredicts += mispredicts;
+    }
+    std::sort(report.branches.begin(), report.branches.end(),
+              [](const H2pBranch &a, const H2pBranch &b) {
+                  if (a.mispredicts != b.mispredicts)
+                      return a.mispredicts > b.mispredicts;
+                  return a.pc < b.pc;
+              });
+    obs::count(obs::ids().h2pCount, report.branches.size());
+    return report;
+}
+
+sim::Ledger
+bestPerBranchLedger(const std::vector<const sim::Ledger *> &ledgers)
+{
+    fatalIf(ledgers.empty(), "bestPerBranchLedger needs >= 1 ledger");
+    sim::Ledger best;
+    // copra-lint: allow(unordered-iter) -- per-key transform into a keyed container; no cross-key order dependence
+    for (const auto &[pc, tally] : ledgers.front()->table()) {
+        sim::BranchTally winner = tally;
+        for (size_t i = 1; i < ledgers.size(); ++i) {
+            sim::BranchTally other = ledgers[i]->branch(pc);
+            if (other.correct > winner.correct)
+                winner = other;
+        }
+        best.setTally(pc, winner.execs, winner.correct, winner.taken);
+    }
+    return best;
+}
+
+double
+MispredictCdf::fractionFromTopPercent(double percent) const
+{
+    if (points.empty() || totalMispredicts == 0)
+        return 0.0;
+    auto top = static_cast<size_t>(
+        std::ceil(points.size() * percent / 100.0));
+    if (top == 0)
+        top = 1;
+    if (top > points.size())
+        top = points.size();
+    return points[top - 1].cumulativeFraction;
+}
+
+uint64_t
+MispredictCdf::branchesForFraction(double fraction) const
+{
+    if (totalMispredicts == 0)
+        return 0;
+    for (size_t i = 0; i < points.size(); ++i)
+        if (points[i].cumulativeFraction >= fraction)
+            return i + 1;
+    return points.size();
+}
+
+MispredictCdf
+mispredictCdf(const sim::Ledger &ledger)
+{
+    MispredictCdf cdf;
+    cdf.points.reserve(ledger.staticBranches());
+    // copra-lint: allow(unordered-iter) -- collected then sorted with a deterministic tie-break
+    for (const auto &[pc, tally] : ledger.table()) {
+        uint64_t mispredicts = tally.execs - tally.correct;
+        cdf.points.push_back({pc, mispredicts, 0.0});
+        cdf.totalMispredicts += mispredicts;
+    }
+    std::sort(cdf.points.begin(), cdf.points.end(),
+              [](const MispredictCdf::Point &a,
+                 const MispredictCdf::Point &b) {
+                  if (a.mispredicts != b.mispredicts)
+                      return a.mispredicts > b.mispredicts;
+                  return a.pc < b.pc;
+              });
+    uint64_t running = 0;
+    for (MispredictCdf::Point &point : cdf.points) {
+        running += point.mispredicts;
+        point.cumulativeFraction = cdf.totalMispredicts
+            ? static_cast<double>(running) / cdf.totalMispredicts
+            : 0.0;
+    }
+    return cdf;
+}
+
+H2pStability
+h2pStability(const std::vector<H2pReport> &reports)
+{
+    H2pStability out;
+    if (reports.empty()) {
+        out.jaccard = 1.0;
+        return out;
+    }
+    std::set<uint64_t> all;
+    std::set<uint64_t> common;
+    for (const H2pBranch &branch : reports.front().branches)
+        common.insert(branch.pc);
+    for (const H2pReport &report : reports) {
+        std::set<uint64_t> seen;
+        for (const H2pBranch &branch : report.branches)
+            seen.insert(branch.pc);
+        all.insert(seen.begin(), seen.end());
+        std::set<uint64_t> kept;
+        for (uint64_t pc : common)
+            if (seen.count(pc))
+                kept.insert(pc);
+        common.swap(kept);
+    }
+    out.unionSize = all.size();
+    out.intersectionSize = common.size();
+    out.jaccard = all.empty()
+        ? 1.0
+        : static_cast<double>(common.size()) / all.size();
+    return out;
+}
+
+} // namespace copra::core

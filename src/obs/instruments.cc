@@ -61,6 +61,16 @@ buildCatalog()
         "(0 when dispatch selects scalar)",
         "sim");
 
+    // --- predictor: modern-roster internals -------------------------
+    add(c, i.tageAllocations, "tage.alloc", Kind::Counter, "entries",
+        "TAGE tagged-table entries (re)allocated on mispredicts",
+        "predictor");
+    add(c, i.perceptronThresholdAdapts, "perceptron.threshold_adapts",
+        Kind::Counter, "adjustments",
+        "hashed-perceptron adaptive-threshold (theta) adjustments, "
+        "increments plus decrements",
+        "predictor");
+
     // --- core: mispredict taxonomy ----------------------------------
     add(c, i.simTaxonomyCold, "sim.taxonomy.cold", Kind::Counter,
         "mispredicts",
@@ -80,6 +90,12 @@ buildCatalog()
         "mispredicts",
         "taxonomy mispredicts on trained, owned counters (inherent "
         "unpredictability)",
+        "core");
+
+    // --- core: hard-to-predict branch analysis ----------------------
+    add(c, i.h2pCount, "h2p.count", Kind::Counter, "branches",
+        "static branches classified hard-to-predict by the Lin-Tarsa "
+        "criterion across all identifyH2p passes",
         "core");
 
     // --- core: per-phase timing -------------------------------------

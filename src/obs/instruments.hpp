@@ -32,11 +32,19 @@ struct Ids
     InstrumentId simKernelBranches = 0;
     InstrumentId simKernelSimdBranches = 0;
 
+    // predictor: modern-roster internals (src/predictor/tage.cc,
+    // perceptron.cc).
+    InstrumentId tageAllocations = 0;
+    InstrumentId perceptronThresholdAdapts = 0;
+
     // core: mispredict taxonomy (src/core/mispredict_taxonomy.cc).
     InstrumentId simTaxonomyCold = 0;
     InstrumentId simTaxonomyInterference = 0;
     InstrumentId simTaxonomyTraining = 0;
     InstrumentId simTaxonomyNoise = 0;
+
+    // core: hard-to-predict branch analysis (src/core/h2p.cc).
+    InstrumentId h2pCount = 0;
 
     // core: per-phase experiment timing (src/core/experiments.cc).
     InstrumentId simPhaseTraceSeconds = 0;

@@ -33,9 +33,12 @@
 #include "predictor/interference_free.hpp"
 #include "predictor/loop_predictor.hpp"
 #include "predictor/path_based.hpp"
+#include "predictor/perceptron.hpp"
 #include "predictor/predictor.hpp"
 #include "predictor/static_pht.hpp"
 #include "predictor/static_pred.hpp"
+#include "predictor/tage.hpp"
+#include "predictor/tournament.hpp"
 #include "predictor/two_level.hpp"
 #include "trace/branch_record.hpp"
 
@@ -94,7 +97,7 @@ inline constexpr bool kRosterValidated = validateRoster<
     // factory roster, in spec-name order (see knownPredictors()):
     AlwaysTaken, AlwaysNotTaken, Btfnt, Bimodal, TwoLevel, GSkewed,
     IfGshare, IfPas, PathBased, LoopPredictor, BlockPatternPredictor,
-    FixedPattern, Hybrid,
+    FixedPattern, Hybrid, Tage, Perceptron, Tournament,
     // analysis-side predictors constructed outside the factory:
     BiasClassifyingHybrid, IdealStatic, StaticPhtTwoLevel>;
 

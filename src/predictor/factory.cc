@@ -11,7 +11,10 @@
 #include "predictor/interference_free.hpp"
 #include "predictor/loop_predictor.hpp"
 #include "predictor/path_based.hpp"
+#include "predictor/perceptron.hpp"
 #include "predictor/static_pred.hpp"
+#include "predictor/tage.hpp"
+#include "predictor/tournament.hpp"
 #include "predictor/two_level.hpp"
 #include "util/logging.hpp"
 
@@ -147,6 +150,47 @@ makePredictor(const std::string &text)
         return std::make_unique<BlockPatternPredictor>();
     if (name == "fixed")
         return std::make_unique<FixedPattern>(getUnsigned(spec, "k", 1));
+    if (name == "tage") {
+        TageConfig config;
+        config.baseBits = getUnsigned(spec, "base", config.baseBits);
+        config.tableBits = getUnsigned(spec, "tbits", config.tableBits);
+        config.tagBits = getUnsigned(spec, "tag", config.tagBits);
+        config.numTables = getUnsigned(spec, "tables", config.numTables);
+        config.minHistory = getUnsigned(spec, "hmin", config.minHistory);
+        config.maxHistory = getUnsigned(spec, "hmax", config.maxHistory);
+        config.agingPeriod = getUnsigned(
+            spec, "aging", static_cast<unsigned>(config.agingPeriod));
+        return std::make_unique<Tage>(config);
+    }
+    if (name == "perceptron") {
+        PerceptronConfig config;
+        config.tableBits = getUnsigned(spec, "tbits", config.tableBits);
+        config.numTables = getUnsigned(spec, "tables", config.numTables);
+        config.segmentBits = getUnsigned(spec, "seg", config.segmentBits);
+        config.initialTheta = static_cast<int>(
+            getUnsigned(spec, "theta",
+                        static_cast<unsigned>(config.initialTheta)));
+        return std::make_unique<Perceptron>(config);
+    }
+    if (name == "tournament") {
+        TournamentConfig config;
+        config.globalHistory =
+            getUnsigned(spec, "gh", config.globalHistory);
+        config.localHistory = getUnsigned(spec, "lh", config.localHistory);
+        config.localBhtBits =
+            getUnsigned(spec, "bht", config.localBhtBits);
+        config.localSelectBits =
+            getUnsigned(spec, "s", config.localSelectBits);
+        config.chooserBits =
+            getUnsigned(spec, "chooser", config.chooserBits);
+        unsigned btb_sets = getUnsigned(spec, "btbsets", 9);
+        unsigned btb_ways = getUnsigned(spec, "btbways", 4);
+        config.btb = btb_ways == 0 ? BtbConfig::perfect()
+                                   : BtbConfig::finite(btb_sets, btb_ways);
+        config.returnStackDepth =
+            getUnsigned(spec, "ras", config.returnStackDepth);
+        return std::make_unique<Tournament>(config);
+    }
     if (name == "hybrid") {
         std::string a = decodeInner(getString(spec, "a", "gshare"));
         std::string b = decodeInner(getString(spec, "b", "pas"));
@@ -162,7 +206,7 @@ knownPredictors()
     return {
         "taken", "nottaken", "btfnt", "bimodal", "gshare", "gag", "gas",
         "pas", "pag", "gskewed", "ifgshare", "ifpas", "path", "loop",
-        "block", "fixed", "hybrid",
+        "block", "fixed", "hybrid", "tage", "perceptron", "tournament",
     };
 }
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Long global branch history with stateless block folding, shared by the
+ * modern-predictor roster (TAGE-lite, hashed perceptron).
+ *
+ * Real TAGE implementations compress long histories through incremental
+ * circular shift registers; copra instead defines the compressed value
+ * *statelessly*: fold(L, C) is the XOR of consecutive C-bit chunks of
+ * the newest L history bits (newest outcome in bit 0 of chunk 0). The
+ * two formulations hash equally well, but the stateless one has a
+ * one-line specification the clarity-first reference models
+ * (check/ref_models.hpp) can recompute bit-for-bit from a plain
+ * std::vector<bool> — which is exactly what makes incremental-update
+ * bugs in this optimized version mechanically detectable (DESIGN.md
+ * §13).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace copra::predictor {
+
+/**
+ * The newest kMaxBits outcomes of the global branch history, packed into
+ * words (newest outcome in bit 0 of word 0), with chunked folding down
+ * to table-index width.
+ */
+class FoldedHistory
+{
+  public:
+    /** Longest history window any consumer may fold. */
+    static constexpr unsigned kMaxBits = 128;
+
+    /** Shift in a new outcome (true = taken), newest in bit 0. */
+    void
+    push(bool taken)
+    {
+        words_[1] = (words_[1] << 1) | (words_[0] >> 63);
+        words_[0] = (words_[0] << 1) | (taken ? 1 : 0);
+    }
+
+    /** Forget all recorded outcomes. */
+    void clear() { words_[0] = words_[1] = 0; }
+
+    /** The newest @p bits outcomes (bits <= 64), newest in bit 0. */
+    uint64_t
+    recent(unsigned bits) const
+    {
+        panicIf(bits > 64, "FoldedHistory::recent supports at most 64 bits");
+        if (bits == 0)
+            return 0;
+        uint64_t mask = bits >= 64 ? ~uint64_t(0)
+                                   : ((uint64_t(1) << bits) - 1);
+        return words_[0] & mask;
+    }
+
+    /**
+     * Fold the newest @p length outcomes to @p width bits: XOR of
+     * consecutive width-bit chunks, newest outcome in bit 0 of the first
+     * chunk; the final partial chunk is zero-padded.
+     */
+    uint64_t
+    fold(unsigned length, unsigned width) const
+    {
+        panicIf(length > kMaxBits,
+                "FoldedHistory::fold length exceeds kMaxBits");
+        panicIf(width == 0 || width > 32,
+                "FoldedHistory::fold width must be in 1..32");
+        uint64_t out = 0;
+        for (unsigned lo = 0; lo < length; lo += width) {
+            unsigned take = length - lo < width ? length - lo : width;
+            out ^= window(lo, take);
+        }
+        return out;
+    }
+
+  private:
+    /** Bits [lo, lo + take) of the packed history, oldest ones zero. */
+    uint64_t
+    window(unsigned lo, unsigned take) const
+    {
+        uint64_t chunk;
+        if (lo >= 64) {
+            chunk = words_[1] >> (lo - 64);
+        } else if (lo == 0) {
+            chunk = words_[0];
+        } else {
+            chunk = (words_[0] >> lo) | (words_[1] << (64 - lo));
+        }
+        uint64_t mask = take >= 64 ? ~uint64_t(0)
+                                   : ((uint64_t(1) << take) - 1);
+        return chunk & mask;
+    }
+
+    uint64_t words_[2] = {0, 0};
+};
+
+} // namespace copra::predictor

@@ -30,6 +30,7 @@ benches=(
     fig5_history_length
     fig7_gshare_pas_static
     fig9_gshare_vs_pas
+    fig10_modern_roster
     table3_pas_loop
 )
 

@@ -1,0 +1,18 @@
+/**
+ * Corpus: the analysis layer reaching up into the verification layer —
+ * core may depend on everything below it (util, obs, trace, workload,
+ * predictor, sim) but never on check, whose reference models exist to
+ * judge core's outputs. The include must fire the layering rule.
+ */
+
+#include "check/differential.hpp"  // expect: layering
+#include "core/h2p.hpp"
+
+namespace copra::core {
+
+struct PlantedCoreLayering
+{
+    H2pCriteria criteria;
+};
+
+} // namespace copra::core

@@ -130,7 +130,7 @@ TEST(Factory, HybridInnerSpecs)
 
 TEST(FactoryDeath, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(makePredictor("perceptron"),
+    EXPECT_EXIT(makePredictor("neuralnet"),
                 ::testing::ExitedWithCode(1), "unknown predictor");
 }
 
