@@ -11,12 +11,21 @@
  * *does* catch the bug and shrinks it to a small reproducer — proving
  * the harness can actually detect the class of defect it exists for.
  *
+ * --state-gates replays fuzzed traces through the whole factory roster
+ * and checks the state contract instead: byte-stable snapshots,
+ * reset-replay determinism, and snapshot round-trip completeness
+ * (check/state_gates.hpp). --doc-state-budgets regenerates
+ * docs/STATE_BUDGETS.md from the same roster (--check FILE gates
+ * drift).
+ *
  * Examples:
  *   copra_check                         # 100 traces, all pairs
  *   copra_check --traces 500 --branches 5000
  *   copra_check --pairs pas             # only pairs whose name has "pas"
  *   copra_check --inject all            # harness self-test
  *   copra_check --repro-dir /tmp/repro  # dump reproducer .trace files
+ *   copra_check --state-gates --traces 8
+ *   copra_check --doc-state-budgets --check docs/STATE_BUDGETS.md
  */
 
 #include <cstdio>
@@ -27,6 +36,7 @@
 
 #include "check/differential.hpp"
 #include "check/fuzz.hpp"
+#include "check/state_gates.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 #include "trace/trace_io.hpp"
@@ -64,6 +74,37 @@ dumpReproducer(const std::string &dir, const check::SuiteFailure &failure)
     std::printf("  reproducer written to %s\n", path.c_str());
 }
 
+/**
+ * Self-test of the state gates: the tage-shadow-state bug keeps live
+ * state outside the registered snapshot fields, so the round-trip
+ * (snapshot-completeness) gate — not a reference-model diff — is what
+ * must catch it. Returns true when caught.
+ */
+bool
+runShadowStateSelfTest(const check::SuiteOptions &options)
+{
+    check::CheckPair pair =
+        check::injectedBugPair(check::InjectedBug::TageShadowState);
+    check::StateGateOptions gate_options;
+    gate_options.seedBase = options.seedBase;
+    gate_options.traces = options.traces;
+    gate_options.conditionals = options.conditionals;
+    check::StateGateReport report = check::runStateGates(
+        gate_options, {{pair.name, pair.optimized}});
+    if (report.ok()) {
+        std::printf("MISSED  tage-shadow-state: %llu state-gate checks "
+                    "found nothing — the completeness probe failed its "
+                    "self-test\n",
+                    static_cast<unsigned long long>(report.gatesRun));
+        return false;
+    }
+    const check::StateGateFailure &first = report.failures.front();
+    std::printf("caught  %-28s gate=%-14s seed=%llu\n",
+                "tage-shadow-state", first.gate.c_str(),
+                static_cast<unsigned long long>(first.seed));
+    return true;
+}
+
 int
 runInjected(const std::string &which, const check::SuiteOptions &options,
             const std::string &repro_dir)
@@ -75,6 +116,11 @@ runInjected(const std::string &which, const check::SuiteOptions &options,
         if (which != "all" && which != check::injectedBugName(bug))
             continue;
         ++matched;
+        if (bug == check::InjectedBug::TageShadowState) {
+            if (!runShadowStateSelfTest(options))
+                ++failed;
+            continue;
+        }
         check::CheckPair pair = check::injectedBugPair(bug);
         check::SuiteReport report =
             check::runCheckSuite(options, {pair});
@@ -135,6 +181,18 @@ main(int argc, char **argv)
                    "report raw failing traces without shrinking");
     parser.addFlag("no-parallel", &no_parallel,
                    "skip the sim::runAllParallel comparison path");
+    bool state_gates = false;
+    parser.addFlag("state-gates", &state_gates,
+                   "run the snapshot/restore state gates over the whole "
+                   "factory roster instead of the differential suite");
+    bool doc_budgets = false;
+    parser.addFlag("doc-state-budgets", &doc_budgets,
+                   "print docs/STATE_BUDGETS.md regenerated from the "
+                   "factory roster and exit");
+    std::string budgets_check;
+    parser.addString("check", &budgets_check,
+                     "with --doc-state-budgets: compare against this "
+                     "file and exit non-zero on drift");
     std::string metrics_out =
         util::envString("COPRA_METRICS_OUT", "");
     bool metrics_summary = false;
@@ -161,6 +219,35 @@ main(int argc, char **argv)
                 static_cast<check::InjectedBug>(i)));
         }
         return 0;
+    }
+
+    if (doc_budgets) {
+        std::string doc = check::renderStateBudgets();
+        if (budgets_check.empty()) {
+            std::fputs(doc.c_str(), stdout);
+            return 0;
+        }
+        std::ifstream in(budgets_check, std::ios::binary);
+        std::ostringstream committed;
+        committed << in.rdbuf();
+        if (in && committed.str() == doc)
+            return 0;
+        std::fprintf(stderr,
+                     "%s is stale (or unreadable); regenerate with\n"
+                     "  copra_check --doc-state-budgets > %s\n",
+                     budgets_check.c_str(), budgets_check.c_str());
+        return 1;
+    }
+
+    if (state_gates) {
+        check::StateGateOptions gate_options;
+        gate_options.seedBase = seed_base;
+        gate_options.traces = traces;
+        gate_options.conditionals = branches;
+        check::StateGateReport report =
+            check::runStateGates(gate_options);
+        std::fputs(check::formatStateGateReport(report).c_str(), stdout);
+        return report.ok() ? 0 : 1;
     }
 
     if (!inject.empty())

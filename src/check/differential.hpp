@@ -173,10 +173,16 @@ enum class InjectedBug : uint8_t
                              //!< instead of clamping
     TournamentBtbIgnoreMiss, //!< tournament BTB miss model disabled:
                              //!< taken predictions survive BTB misses
+    TageShadowState,         //!< TAGE allocation consults a per-tag
+                             //!< ledger kept outside the registered
+                             //!< state fields: reset() clears it, but
+                             //!< snapshots miss it — the hidden-state
+                             //!< defect the round-trip gate
+                             //!< (check/state_gates.hpp) exists for
 };
 
 /** Number of InjectedBug values. */
-inline constexpr unsigned kInjectedBugCount = 7;
+inline constexpr unsigned kInjectedBugCount = 8;
 
 /** Stable name of an injected bug (CLI selector). */
 const char *injectedBugName(InjectedBug bug);

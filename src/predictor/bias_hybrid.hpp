@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "trace/trace.hpp"
 
 namespace copra::predictor {
@@ -57,6 +58,26 @@ class BiasClassifyingHybrid : public Predictor
 
     /** Number of profiled branches classified strongly biased. */
     size_t stronglyBiasedBranches() const;
+
+    // State contract (DESIGN.md §14): the classification profile is
+    // frozen at construction; all adaptive state lives in the dynamic
+    // component.
+    uint64_t stateBits() const override { return dynamic_->stateBits(); }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        dynamic_->snapshotState(w);
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        dynamic_->restoreState(r);
+    }
+
+    COPRA_CONFIG_FIELDS(profile_, label_);
+    COPRA_STATE_FIELDS(dynamic_);
 
   private:
     const BiasProfile *entry(uint64_t pc) const;

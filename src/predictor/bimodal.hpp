@@ -12,6 +12,7 @@
 
 #include "predictor/kernels.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 
 namespace copra::predictor {
@@ -43,6 +44,29 @@ class Bimodal : public Predictor
 
     /** Number of counters in the table. */
     size_t tableSize() const { return table_.size(); }
+
+    // State contract (DESIGN.md §14): 2 bits per counter.
+    uint64_t stateBits() const override { return uint64_t(2) * table_.size(); }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        state::writeVec(w, table_, [](state::Writer &out, Counter2 c) {
+            out.u8(c.v);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        state::readVec(r, table_, [](state::Reader &in, Counter2 &c) {
+            c.v = in.u8();
+        });
+    }
+
+    COPRA_CONFIG_FIELDS(tableBits_);
+    COPRA_STATE_FIELDS(table_);
+    COPRA_TRANSIENT_FIELDS(idxScratch_, kernelCounts_);
 
   private:
     /** Records per kernel tile (see TwoLevel::kKernelTile). */

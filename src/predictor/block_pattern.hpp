@@ -17,6 +17,7 @@
 
 #include "predictor/btb.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -51,6 +52,37 @@ class BlockPatternPredictor : public Predictor
 
     /** BTB evictions suffered (0 with a perfect BTB). */
     uint64_t btbEvictions() const { return table_.evictions(); }
+
+    // State contract (DESIGN.md §14): per tracked branch, 2 flag bits
+    // plus three 8-bit run counts (26 payload bits), on top of the
+    // BTB's own tag/bookkeeping accounting.
+    uint64_t stateBits() const override { return table_.stateBits(26); }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        table_.snapshot(w, [](state::Writer &out, const BlockState &s) {
+            out.b(s.seen);
+            out.b(s.curDir);
+            out.u8(s.curRun);
+            out.u8(s.lastRun[0]);
+            out.u8(s.lastRun[1]);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        table_.restore(r, [](state::Reader &in, BlockState &s) {
+            s.seen = in.b();
+            s.curDir = in.b();
+            s.curRun = in.u8();
+            s.lastRun[0] = in.u8();
+            s.lastRun[1] = in.u8();
+        });
+    }
+
+    COPRA_STATE_FIELDS(table_);
 
   private:
     static constexpr uint8_t kMaxRun = 255;

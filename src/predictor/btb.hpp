@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "predictor/state.hpp"
 #include "util/logging.hpp"
 
 namespace copra::predictor {
@@ -137,6 +138,74 @@ class BtbTable
         ++evictions_;
         set[victim] = {pc, tick_, State{}};
         return set[victim].state;
+    }
+
+    /**
+     * Architectural bits at the current occupancy: a full-pc tag plus
+     * @p payload_bits per live entry, and an LRU timestamp per entry
+     * for finite tables. Perfect tables grow without bound, so this is
+     * a measurement of the run, not of a hardware budget.
+     */
+    uint64_t
+    stateBits(uint64_t payload_bits) const
+    {
+        uint64_t per = 64 + payload_bits + (config_.isPerfect() ? 0 : 64);
+        return uint64_t(size()) * per;
+    }
+
+    /**
+     * Serialize the table through @p write_state, one call per live
+     * payload. Perfect-mode entries are written in sorted pc order so
+     * snapshots never depend on hash-table iteration order.
+     */
+    template <typename WriteState>
+    void
+    snapshot(state::Writer &w, WriteState &&write_state) const
+    {
+        w.u64(evictions_);
+        w.u64(tick_);
+        if (config_.isPerfect()) {
+            state::writeMap(w, perfect_, write_state);
+            return;
+        }
+        w.u64(sets_.size());
+        for (const auto &set : sets_) {
+            w.u64(set.size());
+            for (const Entry &entry : set) {
+                w.u64(entry.pc);
+                w.u64(entry.lastUse);
+                write_state(w, entry.state);
+            }
+        }
+    }
+
+    /** Restore a snapshot() stream; geometry mismatches panic. */
+    template <typename ReadState>
+    void
+    restore(state::Reader &r, ReadState &&read_state)
+    {
+        evictions_ = r.u64();
+        tick_ = r.u64();
+        if (config_.isPerfect()) {
+            state::readMap(r, perfect_, read_state);
+            return;
+        }
+        uint64_t n_sets = r.u64();
+        panicIf(n_sets != sets_.size(),
+                "BtbTable restore: set-count mismatch");
+        for (auto &set : sets_) {
+            set.clear();
+            uint64_t n = r.u64();
+            panicIf(n > config_.ways,
+                    "BtbTable restore: overfull set in snapshot");
+            for (uint64_t i = 0; i < n; ++i) {
+                Entry entry{};
+                entry.pc = r.u64();
+                entry.lastUse = r.u64();
+                read_state(r, entry.state);
+                set.push_back(entry);
+            }
+        }
     }
 
     /** Drop all entries and statistics. */

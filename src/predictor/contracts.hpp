@@ -44,6 +44,22 @@
 
 namespace copra::predictor::contracts {
 
+namespace detail {
+
+/** True when P declares COPRA_STATE_FIELDS(...) in its own scope. */
+template <typename P, typename = void>
+struct DeclaresStateFields : std::false_type
+{
+};
+
+template <typename P>
+struct DeclaresStateFields<P, std::void_t<decltype(P::kCopraStateFields)>>
+    : std::true_type
+{
+};
+
+} // namespace detail
+
 /**
  * The structural contract every roster predictor must satisfy.
  * Instantiating this template for a non-conforming type fails the
@@ -78,6 +94,31 @@ struct PredictorContract
         std::is_invocable_r_v<std::string, decltype(&P::name), const P &>,
         "copra predictor contract: name() must be const-callable and "
         "return std::string — it keys ledgers and golden output");
+
+    // State contract (DESIGN.md §14). The base-class defaults panic at
+    // runtime; the roster is held to the stricter compile-time bar so a
+    // predictor cannot reach copra_check's differential state gates
+    // without exact bit accounting and a byte-stable snapshot.
+    static_assert(detail::DeclaresStateFields<P>::value,
+                  "copra predictor contract: roster types must declare "
+                  "COPRA_STATE_FIELDS(...) naming every mutable member "
+                  "(copra_lint's sema pass cross-checks the list against "
+                  "the parsed members)");
+    static_assert(
+        std::is_same_v<decltype(&P::stateBits), uint64_t (P::*)() const>,
+        "copra predictor contract: roster types must override "
+        "stateBits() themselves — inheriting the panicking base default "
+        "leaves the predictor without exact state accounting");
+    static_assert(std::is_same_v<decltype(&P::snapshotState),
+                                 void (P::*)(state::Writer &) const>,
+                  "copra predictor contract: roster types must override "
+                  "snapshotState(state::Writer&) so copra_check can "
+                  "capture their architectural state byte-stably");
+    static_assert(std::is_same_v<decltype(&P::restoreState),
+                                 void (P::*)(state::Reader &)>,
+                  "copra predictor contract: roster types must override "
+                  "restoreState(state::Reader&) so snapshots round-trip "
+                  "through the differential state gates");
 
     /** Instantiation hook: naming this member forces the checks. */
     static constexpr bool ok = true;

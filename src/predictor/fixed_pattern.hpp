@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -61,6 +62,32 @@ class FixedPattern : public Predictor
     std::string name() const override;
 
     unsigned k() const { return k_; }
+
+    // State contract (DESIGN.md §14). Unbounded instrument: 64 ring
+    // bits (32 outcomes + 32-bit fill count) per tracked branch.
+    uint64_t stateBits() const override { return rings_.size() * 64; }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        state::writeMap(w, rings_,
+                        [](state::Writer &out, const OutcomeRing &ring) {
+                            out.u32(ring.bits);
+                            out.u32(ring.count);
+                        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        state::readMap(r, rings_, [](state::Reader &in, OutcomeRing &ring) {
+            ring.bits = in.u32();
+            ring.count = in.u32();
+        });
+    }
+
+    COPRA_CONFIG_FIELDS(k_);
+    COPRA_STATE_FIELDS(rings_);
 
   private:
     unsigned k_;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
 
@@ -45,6 +46,37 @@ class GSkewed : public Predictor
 
     /** Bank index of @p bank for @p pc under the current history. */
     size_t bankIndex(unsigned bank, uint64_t pc) const;
+
+    // State contract (DESIGN.md §14): the global history register plus
+    // 2 bits per counter across the three banks.
+    uint64_t
+    stateBits() const override
+    {
+        return historyBits_ + uint64_t(3) * 2 * banks_[0].size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        w.u64(history_.value());
+        for (const auto &bank : banks_)
+            state::writeVec(w, bank, [](state::Writer &out, Counter2 c) {
+                out.u8(c.v);
+            });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        history_.set(r.u64());
+        for (auto &bank : banks_)
+            state::readVec(r, bank, [](state::Reader &in, Counter2 &c) {
+                c.v = in.u8();
+            });
+    }
+
+    COPRA_CONFIG_FIELDS(historyBits_, bankBits_);
+    COPRA_STATE_FIELDS(history_, banks_);
 
   private:
     unsigned historyBits_;

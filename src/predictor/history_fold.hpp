@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "predictor/state.hpp"
 #include "util/logging.hpp"
 
 namespace copra::predictor {
@@ -75,6 +76,22 @@ class FoldedHistory
             out ^= window(lo, take);
         }
         return out;
+    }
+
+    /** Serialize the packed history words (state contract). */
+    void
+    snapshot(state::Writer &w) const
+    {
+        w.u64(words_[0]);
+        w.u64(words_[1]);
+    }
+
+    /** Restore history words written by snapshot(). */
+    void
+    restore(state::Reader &r)
+    {
+        words_[0] = r.u64();
+        words_[1] = r.u64();
     }
 
   private:

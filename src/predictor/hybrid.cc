@@ -52,6 +52,9 @@ Hybrid::reset()
     a_->reset();
     b_->reset();
     std::fill(chooser_.begin(), chooser_.end(), Counter2{2});
+    lastA_ = false;
+    lastB_ = false;
+    lastPc_ = ~uint64_t(0);
 }
 
 std::string

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 
 namespace copra::predictor {
@@ -44,6 +45,46 @@ class Hybrid : public Predictor
 
     /** Component B (for tests). */
     Predictor &componentB() { return *b_; }
+
+    // State contract (DESIGN.md §14): both components' state, plus 2
+    // bits per chooser counter. The cached component predictions are
+    // architectural (they feed the matching update()) so they snapshot
+    // too, though they cost no hardware bits worth budgeting.
+    uint64_t
+    stateBits() const override
+    {
+        return a_->stateBits() + b_->stateBits() +
+            uint64_t(2) * chooser_.size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        a_->snapshotState(w);
+        b_->snapshotState(w);
+        state::writeVec(w, chooser_, [](state::Writer &out, Counter2 c) {
+            out.u8(c.v);
+        });
+        w.b(lastA_);
+        w.b(lastB_);
+        w.u64(lastPc_);
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        a_->restoreState(r);
+        b_->restoreState(r);
+        state::readVec(r, chooser_, [](state::Reader &in, Counter2 &c) {
+            c.v = in.u8();
+        });
+        lastA_ = r.b();
+        lastB_ = r.b();
+        lastPc_ = r.u64();
+    }
+
+    COPRA_CONFIG_FIELDS(chooserBits_);
+    COPRA_STATE_FIELDS(a_, b_, chooser_, lastA_, lastB_, lastPc_);
 
   private:
     size_t chooserIndex(uint64_t pc) const;

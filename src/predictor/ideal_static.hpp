@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "trace/trace.hpp"
 
 namespace copra::predictor {
@@ -36,6 +37,15 @@ class IdealStatic : public Predictor
 
     /** Number of profiled branches. */
     size_t branches() const { return majority_.size(); }
+
+    // State contract (DESIGN.md §14): the profile table is frozen at
+    // construction and never mutated — configuration, not mutable state.
+    uint64_t stateBits() const override { return 0; }
+    void snapshotState(state::Writer &) const override {}
+    void restoreState(state::Reader &) override {}
+
+    COPRA_CONFIG_FIELDS(majority_);
+    COPRA_STATE_FIELDS();
 
   private:
     std::unordered_map<uint64_t, bool> majority_;

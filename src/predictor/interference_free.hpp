@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
 
@@ -37,6 +38,35 @@ class IfGshare : public Predictor
 
     /** Number of distinct (pc, history) counters allocated so far. */
     size_t countersAllocated() const { return pht_.size(); }
+
+    // State contract (DESIGN.md §14). Unbounded instrument: reports
+    // the dynamically allocated counter population, not a budget.
+    uint64_t
+    stateBits() const override
+    {
+        return historyBits_ + uint64_t(2) * pht_.size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        w.u64(history_.value());
+        state::writeMap(w, pht_, [](state::Writer &out, Counter2 c) {
+            out.u8(c.v);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        history_.set(r.u64());
+        state::readMap(r, pht_, [](state::Reader &in, Counter2 &c) {
+            c.v = in.u8();
+        });
+    }
+
+    COPRA_CONFIG_FIELDS(historyBits_);
+    COPRA_STATE_FIELDS(history_, pht_);
 
   private:
     uint64_t keyOf(uint64_t pc) const;
@@ -63,6 +93,38 @@ class IfPas : public Predictor
 
     /** Number of static branches tracked so far. */
     size_t branchesTracked() const { return histories_.size(); }
+
+    // State contract (DESIGN.md §14). Unbounded instrument: reports
+    // the dynamically allocated population, not a budget.
+    uint64_t
+    stateBits() const override
+    {
+        return uint64_t(historyBits_) * histories_.size() +
+            uint64_t(2) * pht_.size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        state::writeMap(w, histories_,
+                        [](state::Writer &out, uint64_t h) { out.u64(h); });
+        state::writeMap(w, pht_, [](state::Writer &out, Counter2 c) {
+            out.u8(c.v);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        state::readMap(r, histories_,
+                       [](state::Reader &in, uint64_t &h) { h = in.u64(); });
+        state::readMap(r, pht_, [](state::Reader &in, Counter2 &c) {
+            c.v = in.u8();
+        });
+    }
+
+    COPRA_CONFIG_FIELDS(historyBits_, historyMask_);
+    COPRA_STATE_FIELDS(histories_, pht_);
 
   private:
     uint64_t keyOf(uint64_t pc) const;

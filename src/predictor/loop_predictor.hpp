@@ -20,6 +20,7 @@
 
 #include "predictor/btb.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -52,6 +53,35 @@ class LoopPredictor : public Predictor
 
     /** BTB evictions suffered (0 with a perfect BTB). */
     uint64_t btbEvictions() const { return table_.evictions(); }
+
+    // State contract (DESIGN.md §14): per tracked branch, 2 flag bits
+    // plus two 8-bit run counts (18 payload bits), on top of the BTB's
+    // own tag/bookkeeping accounting.
+    uint64_t stateBits() const override { return table_.stateBits(18); }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        table_.snapshot(w, [](state::Writer &out, const LoopState &s) {
+            out.b(s.seen);
+            out.b(s.dir);
+            out.u8(s.run);
+            out.u8(s.trip);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        table_.restore(r, [](state::Reader &in, LoopState &s) {
+            s.seen = in.b();
+            s.dir = in.b();
+            s.run = in.u8();
+            s.trip = in.u8();
+        });
+    }
+
+    COPRA_STATE_FIELDS(table_);
 
   private:
     static constexpr uint8_t kMaxRun = 255;

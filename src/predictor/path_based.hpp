@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
 
@@ -39,6 +40,36 @@ class PathBased : public Predictor
     void update(const trace::BranchRecord &br, bool taken) override;
     void reset() override;
     std::string name() const override;
+
+    // State contract (DESIGN.md §14): the path register plus 2 bits per
+    // PHT counter.
+    uint64_t
+    stateBits() const override
+    {
+        return uint64_t(pathBranches_) * bitsPerBranch_ +
+            uint64_t(2) * pht_.size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        w.u64(path_.value());
+        state::writeVec(w, pht_, [](state::Writer &out, Counter2 c) {
+            out.u8(c.v);
+        });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        path_.set(r.u64());
+        state::readVec(r, pht_, [](state::Reader &in, Counter2 &c) {
+            c.v = in.u8();
+        });
+    }
+
+    COPRA_CONFIG_FIELDS(pathBranches_, bitsPerBranch_, phtBits_);
+    COPRA_STATE_FIELDS(path_, pht_);
 
   private:
     size_t indexOf(uint64_t pc) const;

@@ -22,6 +22,7 @@
 
 #include "predictor/history_fold.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -68,6 +69,55 @@ class Perceptron : public Predictor
 
     /** Largest |weight| currently stored (tests: saturation bound). */
     int maxAbsWeight() const;
+
+    // State contract (DESIGN.md §14): enough bits per weight to span
+    // [weightMin, weightMax], plus the folded history and the adaptive
+    // threshold machinery (theta and its fitting counter, 16 bits each
+    // by the O-GEHL convention).
+    uint64_t
+    stateBits() const override
+    {
+        const uint64_t span =
+            uint64_t(config_.weightMax - config_.weightMin) + 1;
+        uint64_t weight_bits = 1;
+        while ((uint64_t(1) << weight_bits) < span)
+            ++weight_bits;
+        uint64_t weights = 0;
+        for (const auto &table : tables_)
+            weights += table.size();
+        return weights * weight_bits + config_.historyBits() + 16 + 16;
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        w.u64(tables_.size());
+        for (const auto &table : tables_)
+            state::writeVec(w, table, [](state::Writer &out, int16_t v) {
+                out.i16(v);
+            });
+        history_.snapshot(w);
+        w.i32(theta_);
+        w.i32(thetaCtr_);
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        panicIf(r.u64() != tables_.size(),
+                "Perceptron restore: weight-table count mismatch");
+        for (auto &table : tables_)
+            state::readVec(r, table, [](state::Reader &in, int16_t &v) {
+                v = in.i16();
+            });
+        history_.restore(r);
+        theta_ = r.i32();
+        thetaCtr_ = r.i32();
+    }
+
+    COPRA_CONFIG_FIELDS(config_);
+    COPRA_STATE_FIELDS(tables_, history_, theta_, thetaCtr_);
+    COPRA_TRANSIENT_FIELDS(stats_);
 
   protected:
     /**

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "predictor/state.hpp"
 #include "predictor/two_level.hpp"
 #include "trace/trace.hpp"
 
@@ -47,6 +48,21 @@ class StaticPhtTwoLevel : public Predictor
 
     /** Fraction of PHT entries that were exercised during profiling. */
     double coverage() const;
+
+    // State contract (DESIGN.md §14): only the first-level histories are
+    // adaptive; the profiled direction table is frozen configuration.
+    uint64_t stateBits() const override { return indexer_.stateBits(); }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        indexer_.snapshotState(w);
+    }
+
+    void restoreState(state::Reader &r) override { indexer_.restoreState(r); }
+
+    COPRA_CONFIG_FIELDS(directions_, covered_);
+    COPRA_STATE_FIELDS(indexer_);
 
   private:
     StaticPhtTwoLevel(const TwoLevelConfig &config,

@@ -7,9 +7,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -21,6 +23,11 @@ class AlwaysTaken : public Predictor
     void update(const trace::BranchRecord &, bool) override {}
     void reset() override {}
     std::string name() const override { return "always-taken"; }
+
+    COPRA_STATE_FIELDS();
+    uint64_t stateBits() const override { return 0; }
+    void snapshotState(state::Writer &) const override {}
+    void restoreState(state::Reader &) override {}
 };
 
 /** Predicts every branch not-taken. */
@@ -31,6 +38,11 @@ class AlwaysNotTaken : public Predictor
     void update(const trace::BranchRecord &, bool) override {}
     void reset() override {}
     std::string name() const override { return "always-not-taken"; }
+
+    COPRA_STATE_FIELDS();
+    uint64_t stateBits() const override { return 0; }
+    void snapshotState(state::Writer &) const override {}
+    void restoreState(state::Reader &) override {}
 };
 
 /**
@@ -48,6 +60,11 @@ class Btfnt : public Predictor
     void update(const trace::BranchRecord &, bool) override {}
     void reset() override {}
     std::string name() const override { return "btfnt"; }
+
+    COPRA_STATE_FIELDS();
+    uint64_t stateBits() const override { return 0; }
+    void snapshotState(state::Writer &) const override {}
+    void restoreState(state::Reader &) override {}
 };
 
 } // namespace copra::predictor

@@ -26,6 +26,7 @@
 
 #include "predictor/history_fold.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 
 namespace copra::predictor {
 
@@ -80,6 +81,58 @@ class Tage : public Predictor
 
     /** Sum of all useful counters (tests: aging must shrink it). */
     uint64_t usefulSum() const;
+
+    // State contract (DESIGN.md §14): 2 bits per base counter, then
+    // tag + prediction + useful bits per tagged entry, the folded
+    // history, and the aging clock.
+    uint64_t
+    stateBits() const override
+    {
+        uint64_t bits = uint64_t(2) * base_.size();
+        const uint64_t per_entry = uint64_t(config_.tagBits) +
+            config_.counterBits + config_.usefulBits;
+        for (const auto &table : tables_)
+            bits += per_entry * table.size();
+        return bits;
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        state::writeVec(w, base_,
+                        [](state::Writer &out, uint8_t c) { out.u8(c); });
+        w.u64(tables_.size());
+        for (const auto &table : tables_)
+            state::writeVec(w, table,
+                            [](state::Writer &out, const Entry &e) {
+                                out.u16(e.tag);
+                                out.u8(e.ctr);
+                                out.u8(e.useful);
+                            });
+        history_.snapshot(w);
+        w.u64(updates_);
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        state::readVec(r, base_,
+                       [](state::Reader &in, uint8_t &c) { c = in.u8(); });
+        panicIf(r.u64() != tables_.size(),
+                "Tage restore: tagged-table count mismatch");
+        for (auto &table : tables_)
+            state::readVec(r, table, [](state::Reader &in, Entry &e) {
+                e.tag = in.u16();
+                e.ctr = in.u8();
+                e.useful = in.u8();
+            });
+        history_.restore(r);
+        updates_ = r.u64();
+    }
+
+    COPRA_CONFIG_FIELDS(config_, lengths_);
+    COPRA_STATE_FIELDS(base_, tables_, history_, updates_);
+    COPRA_TRANSIENT_FIELDS(stats_);
 
   protected:
     /** One tagged-table entry. */

@@ -19,6 +19,7 @@
 
 #include "predictor/kernels.hpp"
 #include "predictor/predictor.hpp"
+#include "predictor/state.hpp"
 #include "util/sat_counter.hpp"
 #include "util/shift_register.hpp"
 
@@ -119,6 +120,38 @@ class TwoLevel : public Predictor
 
     /** PHT index used for @p pc under the current history (for tests). */
     size_t phtIndex(uint64_t pc) const;
+
+    // State contract (DESIGN.md §14): historyBits per first-level
+    // register plus counterBits per second-level counter.
+    uint64_t
+    stateBits() const override
+    {
+        return uint64_t(config_.historyBits) * histories_.size() +
+            uint64_t(config_.counterBits) * pht_.size();
+    }
+
+    void
+    snapshotState(state::Writer &w) const override
+    {
+        state::writeVec(w, histories_,
+                        [](state::Writer &out, uint64_t h) { out.u64(h); });
+        state::writeVec(w, pht_,
+                        [](state::Writer &out, uint8_t c) { out.u8(c); });
+    }
+
+    void
+    restoreState(state::Reader &r) override
+    {
+        state::readVec(r, histories_,
+                       [](state::Reader &in, uint64_t &h) { h = in.u64(); });
+        state::readVec(r, pht_,
+                       [](state::Reader &in, uint8_t &c) { c = in.u8(); });
+    }
+
+    COPRA_CONFIG_FIELDS(config_, historyMask_, phtMask_, counterMax_,
+                        counterInit_);
+    COPRA_STATE_FIELDS(histories_, pht_);
+    COPRA_TRANSIENT_FIELDS(histScratch_, idxScratch_, kernelCounts_);
 
   private:
     /** Records per kernel tile; bounds the index scratch to ~24 KiB so

@@ -58,6 +58,10 @@ class HistoryRegister
     /** Clear all recorded history. */
     void clear() { bits_ = 0; }
 
+    /** Replace the recorded pattern (snapshot restore); masked to the
+     *  configured length. */
+    void set(uint64_t bits) { bits_ = bits & mask_; }
+
   private:
     unsigned length_;
     uint64_t mask_;
@@ -104,6 +108,10 @@ class PathRegister
 
     /** Clear all recorded path history. */
     void clear() { value_ = 0; }
+
+    /** Replace the recorded pattern (snapshot restore); masked to the
+     *  configured width. */
+    void set(uint64_t value) { value_ = value & mask_; }
 
   private:
     unsigned branches_;

@@ -1,15 +1,44 @@
 /**
  * @file
- * Deliberately non-conforming predictor, compiled (and expected to
+ * Deliberately non-conforming predictors, compiled (and expected to
  * FAIL) by contracts_negative.cmake. Never part of any build target.
  *
- * The type below misses the contract on purpose: it does not derive
- * from Predictor and exposes none of the interface. The test asserts
- * the build stops AND that the diagnostic contains the human-readable
- * "copra predictor contract" clause text.
+ * Two violation flavours, selected by preprocessor define:
+ *
+ *  - default: a type that does not derive from Predictor and exposes
+ *    none of the interface (breaks the structural clauses).
+ *  - COPRA_BREAK_STATE_CONTRACT: a well-formed roster predictor that
+ *    declares no COPRA_STATE_FIELDS and inherits the panicking state
+ *    defaults instead of overriding them (breaks the state clauses).
+ *
+ * The test asserts the build stops AND that the diagnostic contains
+ * the human-readable "copra predictor contract" clause text.
  */
 
 #include "predictor/contracts.hpp"
+
+#ifdef COPRA_BREAK_STATE_CONTRACT
+
+namespace copra::predictor {
+
+/** Runtime interface complete, state contract entirely missing. */
+class StatelessRosterPredictor : public Predictor
+{
+  public:
+    bool predict(const trace::BranchRecord &) override { return true; }
+    void update(const trace::BranchRecord &, bool) override {}
+    void reset() override {}
+    std::string name() const override { return "stateless"; }
+};
+
+} // namespace copra::predictor
+
+static_assert(
+    copra::predictor::contracts::PredictorContract<
+        copra::predictor::StatelessRosterPredictor>::ok,
+    "unreachable: the state contract must reject this type first");
+
+#else // structural violation
 
 namespace copra::predictor {
 
@@ -25,3 +54,5 @@ static_assert(
     copra::predictor::contracts::PredictorContract<
         copra::predictor::DefinitelyNotAPredictor>::ok,
     "unreachable: the contract must reject this type first");
+
+#endif

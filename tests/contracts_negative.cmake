@@ -1,7 +1,10 @@
 # Proves the predictor contract layer fails the build *readably* when a
 # roster type does not conform: compiles tests/contracts_break.cc with
 # -fsyntax-only, requires a nonzero exit AND the contract clause text in
-# the diagnostics. Driven by ctest as `contracts_negative`.
+# the diagnostics. Two flavours are compiled — the structural violation
+# (default) and the state-contract violation (COPRA_BREAK_STATE_CONTRACT),
+# which must additionally name COPRA_STATE_FIELDS in its diagnostic.
+# Driven by ctest as `contracts_negative`.
 #
 # Inputs: -DCXX=<compiler> -DSRC=<repo root>
 
@@ -26,4 +29,36 @@ if(pos EQUAL -1)
 endif()
 
 message(STATUS
-    "contract violation rejected with a readable diagnostic, as designed")
+    "structural violation rejected with a readable diagnostic, as designed")
+
+execute_process(
+    COMMAND ${CXX} -std=c++20 -fsyntax-only -I${SRC}/src
+            -DCOPRA_BREAK_STATE_CONTRACT
+            ${SRC}/tests/contracts_break.cc
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "the state-contract violation compiled cleanly; the contract "
+        "layer no longer requires the predictor state contract")
+endif()
+
+string(FIND "${err}${out}" "copra predictor contract" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "state-contract compilation failed but without the readable "
+        "contract message; diagnostics were:\n${err}")
+endif()
+
+string(FIND "${err}${out}" "COPRA_STATE_FIELDS" state_pos)
+if(state_pos EQUAL -1)
+    message(FATAL_ERROR
+        "state-contract diagnostic does not name COPRA_STATE_FIELDS; "
+        "diagnostics were:\n${err}")
+endif()
+
+message(STATUS
+    "state-contract violation rejected with a readable diagnostic, "
+    "as designed")

@@ -1,0 +1,21 @@
+/**
+ * Corpus: the cross-TU half of planted_state_mutation.hpp — PlantedBare
+ * has no state contract, so mutating a member in an out-of-line
+ * prediction-path body fires state-mutation here, not in the header.
+ */
+
+namespace copra::predictor {
+
+bool
+PlantedBare::predict(const trace::BranchRecord &br)
+{
+    return hits_ > 0;
+}
+
+void
+PlantedBare::update(const trace::BranchRecord &br, bool taken)
+{
+    ++hits_;                                     // expect: state-mutation
+}
+
+} // namespace copra::predictor

@@ -6,6 +6,7 @@
  *   copra_lint --root . src bench tests tools   # the ctest gate
  *   copra_lint --root . --self-test tests/lint_corpus
  *   copra_lint --root . --json src bench        # machine findings
+ *   copra_lint --root . --sarif findings.sarif src  # code scanning
  *   copra_lint --root . --graph-dot includes.dot src
  *   copra_lint --list-rules
  */
@@ -13,10 +14,18 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "copra_lint/lint.hpp"
+
+// Build provenance is generated into the build tree by src/obs; the
+// CLI stays buildable standalone (e.g. unit-test links) without it.
+#if __has_include("obs/build_info.hpp")
+#include "obs/build_info.hpp"
+#define COPRA_LINT_HAVE_BUILD_INFO 1
+#endif
 
 namespace {
 
@@ -26,14 +35,18 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--root DIR] [--self-test CORPUS_DIR] [--list-rules]\n"
-        << "       [--json] [--graph-dot FILE] [PATH...]\n\n"
+        << "       [--json] [--sarif FILE] [--graph-dot FILE] "
+           "[PATH...]\n\n"
         << "Lints PATHs (default: src bench tests tools) relative to\n"
-        << "--root (default: .) against copra's determinism contract\n"
-        << "and the module-layering DAG (DESIGN.md sections 9-10).\n"
+        << "--root (default: .) against copra's determinism contract,\n"
+        << "the module-layering DAG, and the predictor state contract\n"
+        << "(DESIGN.md sections 9, 10, and 14).\n"
         << "--json emits findings as a JSON object on stdout;\n"
-        << "--graph-dot writes the include graph as Graphviz DOT to\n"
-        << "FILE ('-' for stdout). Missing or unreadable PATHs are a\n"
-        << "hard error (exit 2), never a silent skip.\n";
+        << "--sarif writes SARIF 2.1.0 to FILE ('-' for stdout) for\n"
+        << "GitHub code scanning; --graph-dot writes the include graph\n"
+        << "as Graphviz DOT to FILE ('-' for stdout). Missing or\n"
+        << "unreadable PATHs are a hard error (exit 2), never a\n"
+        << "silent skip.\n";
     return 2;
 }
 
@@ -69,6 +82,68 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+/** The tool's git revision, or "unknown" outside the build tree. */
+std::string
+buildGitSha()
+{
+#ifdef COPRA_LINT_HAVE_BUILD_INFO
+    return copra::obs::kBuildGitSha;
+#else
+    return "unknown";
+#endif
+}
+
+/** Emit the build_info provenance object (shared by --json/--sarif). */
+void
+writeBuildInfo(std::ostream &out)
+{
+    out << "{\"git_sha\": \"" << jsonEscape(buildGitSha()) << "\"";
+#ifdef COPRA_LINT_HAVE_BUILD_INFO
+    out << ", \"build_type\": \""
+        << jsonEscape(copra::obs::kBuildType) << "\", \"compiler\": \""
+        << jsonEscape(copra::obs::kBuildCompiler) << "\"";
+#endif
+    out << "}";
+}
+
+/**
+ * SARIF 2.1.0 for GitHub code scanning: one run, the full rule
+ * catalog as driver rules, findings as error-level results anchored
+ * to %SRCROOT%-relative locations, and the git SHA as version-control
+ * provenance so alerts attach to the right commit.
+ */
+void
+writeSarif(std::ostream &out, const std::vector<copra::lint::Finding> &fs)
+{
+    out << "{\"$schema\": \"https://raw.githubusercontent.com/oasis-"
+           "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\", "
+           "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+           "{\"name\": \"copra_lint\", \"informationUri\": "
+           "\"DESIGN.md\", \"rules\": [";
+    bool first = true;
+    for (const auto &[name, blurb] : copra::lint::ruleCatalog()) {
+        out << (first ? "" : ", ") << "{\"id\": \"copra." << name
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(blurb) << "\"}}";
+        first = false;
+    }
+    out << "]}}, \"versionControlProvenance\": [{\"repositoryUri\": "
+           "\"\", \"revisionId\": \"" << jsonEscape(buildGitSha())
+        << "\"}], \"results\": [";
+    for (size_t i = 0; i < fs.size(); ++i) {
+        const copra::lint::Finding &f = fs[i];
+        out << (i ? ", " : "") << "{\"ruleId\": \"" << f.ruleId()
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(f.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" << jsonEscape(f.rel)
+            << "\", \"uriBaseId\": \"%SRCROOT%\"}, \"region\": "
+               "{\"startLine\": " << f.line
+            << ", \"startColumn\": " << f.col << "}}}]}";
+    }
+    out << "]}]}\n";
+}
+
 } // namespace
 
 int
@@ -77,6 +152,7 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string corpus;
     std::string dotPath;
+    std::string sarifPath;
     std::vector<std::string> paths;
     bool listRules = false;
     bool json = false;
@@ -89,6 +165,8 @@ main(int argc, char **argv)
             corpus = argv[++i];
         } else if (arg == "--graph-dot" && i + 1 < argc) {
             dotPath = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifPath = argv[++i];
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--list-rules") {
@@ -148,15 +226,35 @@ main(int argc, char **argv)
         }
     }
 
+    if (!sarifPath.empty()) {
+        if (sarifPath == "-") {
+            writeSarif(std::cout, tree.findings);
+        } else {
+            std::ofstream out(sarifPath, std::ios::binary);
+            writeSarif(out, tree.findings);
+            if (!out) {
+                std::cerr << "copra_lint: error: cannot write "
+                          << sarifPath << "\n";
+                return 2;
+            }
+        }
+        if (!json)
+            return tree.findings.empty() ? 0 : 1;
+    }
+
     if (json) {
         std::cout << "{\"count\": " << tree.findings.size()
-                  << ", \"findings\": [";
+                  << ", \"build_info\": ";
+        writeBuildInfo(std::cout);
+        std::cout << ", \"findings\": [";
         for (size_t i = 0; i < tree.findings.size(); ++i) {
             const copra::lint::Finding &f = tree.findings[i];
             std::cout << (i ? ", " : "")
                       << "{\"file\": \"" << jsonEscape(f.rel)
                       << "\", \"line\": " << f.line
+                      << ", \"col\": " << f.col
                       << ", \"rule\": \"" << jsonEscape(f.rule)
+                      << "\", \"rule_id\": \"" << jsonEscape(f.ruleId())
                       << "\", \"message\": \"" << jsonEscape(f.message)
                       << "\"}";
         }

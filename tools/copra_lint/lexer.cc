@@ -168,6 +168,11 @@ scanSource(const std::string &rel, const std::string &content)
     int commentLine = 0;
     int line = 1;
     bool lineStart = true; // only whitespace seen on this line so far
+    size_t lineBegin = 0;  // index of the current line's first byte
+
+    auto colOf = [&](size_t at) {
+        return static_cast<int>(at - lineBegin) + 1;
+    };
 
     const std::string &src = content;
     size_t n = src.size();
@@ -259,26 +264,29 @@ scanSource(const std::string &rel, const std::string &content)
                     if (i < n)
                         ++line; // the newline ending the directive
                     lineStart = true;
+                    lineBegin = i + 1;
                 }
                 continue;
             } else if (isIdentStart(c)) {
+                int col = colOf(i);
                 std::string word(1, c);
                 while (i + 1 < n && isIdentChar(src[i + 1]))
                     word += src[++i];
-                scan.tokens.push_back({word, line});
+                scan.tokens.push_back({word, line, col});
             } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                int col = colOf(i);
                 std::string num(1, c);
                 while (i + 1 < n &&
                        (isIdentChar(src[i + 1]) || src[i + 1] == '.' ||
                         ((src[i] == 'e' || src[i] == 'E') &&
                          (src[i + 1] == '+' || src[i + 1] == '-'))))
                     num += src[++i];
-                scan.tokens.push_back({num, line});
+                scan.tokens.push_back({num, line, col});
             } else if (c == ':' && next == ':') {
-                scan.tokens.push_back({"::", line});
+                scan.tokens.push_back({"::", line, colOf(i)});
                 ++i;
             } else if (!std::isspace(static_cast<unsigned char>(c))) {
-                scan.tokens.push_back({std::string(1, c), line});
+                scan.tokens.push_back({std::string(1, c), line, colOf(i)});
             }
             break;
 
@@ -328,6 +336,7 @@ scanSource(const std::string &rel, const std::string &content)
         if (c == '\n') {
             ++line;
             lineStart = true;
+            lineBegin = i + 1;
         } else if (!std::isspace(static_cast<unsigned char>(c))) {
             lineStart = false;
         }

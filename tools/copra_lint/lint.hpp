@@ -28,6 +28,7 @@ struct Token
 {
     std::string text;
     int line = 0;
+    int col = 0; ///< 1-based byte column of the token's first character
 };
 
 /** A parsed copra-lint directive or corpus expectation comment. */
@@ -74,6 +75,10 @@ struct Finding
     int line = 0;
     std::string rule;
     std::string message;
+    int col = 1; ///< 1-based column (1 when the rule is line-granular)
+
+    /** Stable machine identifier, e.g. "copra.mutable-global". */
+    std::string ruleId() const { return "copra." + rule; }
 
     bool operator<(const Finding &o) const
     {
@@ -81,7 +86,9 @@ struct Finding
             return rel < o.rel;
         if (line != o.line)
             return line < o.line;
-        return rule < o.rule;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return col < o.col;
     }
 };
 
@@ -125,6 +132,90 @@ std::vector<Finding> runRules(const FileScan &scan,
  */
 std::vector<Finding> applySuppressions(const FileScan &scan,
                                        std::vector<Finding> findings);
+
+// --- State-contract semantic pass (DESIGN.md §14) -------------------
+
+/** One parsed member field of a class definition. */
+struct SemaField
+{
+    std::string name;
+    int line = 0;
+    int col = 1;
+};
+
+/** Which COPRA_*_FIELDS list a member name was declared in. */
+enum class FieldList
+{
+    State,
+    Config,
+    Transient,
+};
+
+/** One name appearing in a COPRA_*_FIELDS declaration. */
+struct SemaListEntry
+{
+    std::string name;
+    FieldList list = FieldList::State;
+    int line = 0;
+    int col = 1;
+};
+
+/** One method body bound to a class — in-class or out-of-line. */
+struct SemaBody
+{
+    std::string method;
+    size_t scanIndex = 0; ///< index into the scans the model was built from
+    size_t beginTok = 0;  ///< token index of the opening `{`
+    size_t endTok = 0;    ///< token index of the matching `}`
+};
+
+/**
+ * Lightweight model of one class definition: name, bases, parsed
+ * member fields, declared methods, COPRA_*_FIELDS declarations, and
+ * every method body the scanned set binds to it (including bodies
+ * defined out of line in other translation units).
+ */
+struct SemaClass
+{
+    std::string name;
+    std::string rel; ///< file the definition lives in
+    int line = 0;
+    size_t scanIndex = 0;
+    std::vector<std::string> bases; ///< unqualified base-class names
+    std::vector<SemaField> fields;
+    std::set<std::string> methods;
+    std::vector<SemaListEntry> listed;
+    bool hasStateFields = false;
+    bool hasConfigFields = false;
+    bool hasTransientFields = false;
+    std::vector<SemaBody> bodies;
+};
+
+/** Cross-TU symbol table over one set of scans. */
+struct SemaModel
+{
+    /** Class definitions by name; first definition wins on collision. */
+    std::map<std::string, SemaClass> classes;
+};
+
+/** Does `cls` (a name in `model`) transitively derive from Predictor? */
+bool derivesFromPredictor(const SemaModel &model, const std::string &cls);
+
+/**
+ * Build the symbol table: pass 1 collects class definitions (fields,
+ * methods, field-list declarations, inline bodies); pass 2 binds
+ * out-of-line `Class::method(...) { ... }` bodies from every scan.
+ */
+SemaModel buildSemaModel(const std::vector<FileScan> &scans);
+
+/**
+ * The state-contract audit (rules state-decl, state-coverage,
+ * state-mutation) over every Predictor-derived class defined under
+ * src/predictor/. Suppressions from the file owning each finding
+ * apply; results are unsorted (callers sort the merged set).
+ */
+std::vector<Finding> runSemaRules(const SemaModel &model,
+                                  const std::vector<FileScan> &scans);
 
 // --- Module layering (DESIGN.md §10) --------------------------------
 

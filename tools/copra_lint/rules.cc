@@ -514,6 +514,16 @@ ruleCatalog()
          "headers directly include the curated std headers they use"},
         {"annotation",
          "copra-lint comments must parse and carry reasons"},
+        {"state-decl",
+         "Predictor-derived classes under src/predictor declare "
+         "COPRA_STATE_FIELDS(...) plus stateBits/snapshotState/"
+         "restoreState, and field lists name only real members"},
+        {"state-coverage",
+         "every member field of a contracted predictor appears in "
+         "exactly one of the state/config/transient lists"},
+        {"state-mutation",
+         "prediction-path methods mutate no config-listed member; "
+         "uncontracted predictors mutate no member there at all"},
     };
 }
 
@@ -725,6 +735,12 @@ lintTreeFull(const std::string &rootStr,
         runGraphRules(scans, result.graph);
     all.insert(all.end(), graphFindings.begin(), graphFindings.end());
 
+    // Semantic pass: the cross-TU state-contract audit over every
+    // Predictor-derived class the scan set defines (DESIGN.md §14).
+    SemaModel model = buildSemaModel(scans);
+    std::vector<Finding> semaFindings = runSemaRules(model, scans);
+    all.insert(all.end(), semaFindings.begin(), semaFindings.end());
+
     std::sort(all.begin(), all.end());
     result.findings = std::move(all);
     return result;
@@ -789,6 +805,8 @@ selfTest(const std::string &rootStr, const std::string &corpus,
             actual[scan.rel].insert({f.line, f.rule});
     }
     for (const Finding &f : runGraphRules(scans, buildIncludeGraph(scans)))
+        actual[f.rel].insert({f.line, f.rule});
+    for (const Finding &f : runSemaRules(buildSemaModel(scans), scans))
         actual[f.rel].insert({f.line, f.rule});
 
     for (const FileScan &scan : scans) {
