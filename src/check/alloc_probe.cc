@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Global operator-new replacement feeding the hot-gate allocation
+ * counter (check/hot_gates.hpp).
+ *
+ * This TU is linked into the copra_check *executable* only — never the
+ * check library — so no other binary inherits a replaced allocator.
+ * Sanitizer builds are excluded outright: ASan/TSan/MSan interpose
+ * their own operator new, and a second strong definition would either
+ * fail to link or silently bypass poisoning; there the hot gates
+ * report the allocation probe as absent and rely on the lock gate
+ * (the Release CI leg carries the allocation proof).
+ *
+ * Only the allocating paths count. Deallocation is forwarded
+ * untouched: the gate's question is "did the steady state allocate",
+ * not "is the heap balanced" — leaks are the sanitizers' department.
+ */
+
+#include "check/hot_gates.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_MEMORY__)
+#define COPRA_ALLOC_PROBE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) \
+    || __has_feature(memory_sanitizer)
+#define COPRA_ALLOC_PROBE 0
+#else
+#define COPRA_ALLOC_PROBE 1
+#endif
+#else
+#define COPRA_ALLOC_PROBE 1
+#endif
+
+#if COPRA_ALLOC_PROBE
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+/** Runs at static-init of the executable; tells the gates the hook
+ * is live so the allocation checks count as run, not skipped. */
+const bool g_registered = [] {
+    copra::check::registerAllocProbe();
+    return true;
+}();
+
+void *
+countedAlloc(std::size_t size)
+{
+    copra::check::noteHotAlloc();
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    copra::check::noteHotAlloc();
+    // aligned_alloc requires size to be a multiple of the alignment.
+    std::size_t rounded = (size + align - 1) / align * align;
+    if (rounded == 0)
+        rounded = align;
+    void *p = std::aligned_alloc(align, rounded);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    copra::check::noteHotAlloc();
+    return std::malloc(size ? size : 1);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    copra::check::noteHotAlloc();
+    return std::malloc(size ? size : 1);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // COPRA_ALLOC_PROBE

@@ -18,6 +18,12 @@
  * docs/STATE_BUDGETS.md from the same roster (--check FILE gates
  * drift).
  *
+ * --hot-gates replays fuzzed traces through the roster's SoA hot path
+ * and asserts a steady-state replay performs zero heap allocations
+ * (this binary replaces operator new to count — check/alloc_probe.cc)
+ * and zero lock acquisitions (check/hot_gates.hpp): the runtime half
+ * of the copra_lint hot-path discipline (DESIGN.md §15).
+ *
  * Examples:
  *   copra_check                         # 100 traces, all pairs
  *   copra_check --traces 500 --branches 5000
@@ -25,6 +31,7 @@
  *   copra_check --inject all            # harness self-test
  *   copra_check --repro-dir /tmp/repro  # dump reproducer .trace files
  *   copra_check --state-gates --traces 8
+ *   copra_check --hot-gates --traces 3
  *   copra_check --doc-state-budgets --check docs/STATE_BUDGETS.md
  */
 
@@ -36,6 +43,7 @@
 
 #include "check/differential.hpp"
 #include "check/fuzz.hpp"
+#include "check/hot_gates.hpp"
 #include "check/state_gates.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
@@ -105,6 +113,43 @@ runShadowStateSelfTest(const check::SuiteOptions &options)
     return true;
 }
 
+/**
+ * Self-test of the hot gates: the hot-path-alloc bug predicts
+ * bit-identically, so no differential path can see it — only the
+ * steady-state allocation gate can. Returns true when caught (or when
+ * the allocation probe is unavailable: sanitizer builds own the
+ * allocator, and the Release CI leg carries this proof).
+ */
+bool
+runHotAllocSelfTest(const check::SuiteOptions &options)
+{
+    if (!check::allocProbeLinked()) {
+        std::printf("skipped hot-path-alloc: allocation probe absent "
+                    "(sanitizer build owns the allocator)\n");
+        return true;
+    }
+    check::CheckPair pair =
+        check::injectedBugPair(check::InjectedBug::HotPathAlloc);
+    check::HotGateOptions gate_options;
+    gate_options.seedBase = options.seedBase;
+    gate_options.traces = options.traces;
+    gate_options.conditionals = options.conditionals;
+    check::HotGateReport report = check::runHotGates(
+        gate_options, {{pair.name, pair.optimized}});
+    if (report.ok()) {
+        std::printf("MISSED  hot-path-alloc: %llu hot-gate checks "
+                    "found nothing — the allocation probe failed its "
+                    "self-test\n",
+                    static_cast<unsigned long long>(report.gatesRun));
+        return false;
+    }
+    const check::HotGateFailure &first = report.failures.front();
+    std::printf("caught  %-28s gate=%-14s seed=%llu\n",
+                "hot-path-alloc", first.gate.c_str(),
+                static_cast<unsigned long long>(first.seed));
+    return true;
+}
+
 int
 runInjected(const std::string &which, const check::SuiteOptions &options,
             const std::string &repro_dir)
@@ -118,6 +163,11 @@ runInjected(const std::string &which, const check::SuiteOptions &options,
         ++matched;
         if (bug == check::InjectedBug::TageShadowState) {
             if (!runShadowStateSelfTest(options))
+                ++failed;
+            continue;
+        }
+        if (bug == check::InjectedBug::HotPathAlloc) {
+            if (!runHotAllocSelfTest(options))
                 ++failed;
             continue;
         }
@@ -185,6 +235,10 @@ main(int argc, char **argv)
     parser.addFlag("state-gates", &state_gates,
                    "run the snapshot/restore state gates over the whole "
                    "factory roster instead of the differential suite");
+    bool hot_gates = false;
+    parser.addFlag("hot-gates", &hot_gates,
+                   "run the steady-state zero-allocation / zero-lock "
+                   "hot-path gates over the whole factory roster");
     bool doc_budgets = false;
     parser.addFlag("doc-state-budgets", &doc_budgets,
                    "print docs/STATE_BUDGETS.md regenerated from the "
@@ -247,6 +301,16 @@ main(int argc, char **argv)
         check::StateGateReport report =
             check::runStateGates(gate_options);
         std::fputs(check::formatStateGateReport(report).c_str(), stdout);
+        return report.ok() ? 0 : 1;
+    }
+
+    if (hot_gates) {
+        check::HotGateOptions gate_options;
+        gate_options.seedBase = seed_base;
+        gate_options.traces = traces;
+        gate_options.conditionals = branches;
+        check::HotGateReport report = check::runHotGates(gate_options);
+        std::fputs(check::formatHotGateReport(report).c_str(), stdout);
         return report.ok() ? 0 : 1;
     }
 

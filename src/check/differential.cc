@@ -571,13 +571,13 @@ class BuggyPas : public predictor::Predictor
     }
 
     bool
-    predict(const trace::BranchRecord &br) override
+    predict(const trace::BranchRecord &br) noexcept override
     {
         return pht_[index(br.pc, row(br.pc))] > 1;
     }
 
     void
-    update(const trace::BranchRecord &br, bool taken) override
+    update(const trace::BranchRecord &br, bool taken) noexcept override
     {
         uint8_t &counter = pht_[index(br.pc, row(br.pc))];
         if (taken && counter < 3)
@@ -634,7 +634,7 @@ class BatchStaleGshare : public predictor::TwoLevel
 
     uint64_t
     predictUpdateBatch(std::span<const trace::BranchRecord> batch,
-                       uint8_t *correct_out) override
+                       uint8_t *correct_out) noexcept override
     {
         uint64_t n_correct = 0;
         bool have_pending = false;
@@ -672,7 +672,7 @@ class SoaPrematureTrainGshare : public predictor::TwoLevel
 
     uint64_t
     predictUpdateSoa(const predictor::SoaBatch &batch,
-                     uint8_t *correct_out) override
+                     uint8_t *correct_out) noexcept override
     {
         uint64_t n_correct = 0;
         for (size_t i = 0; i < batch.count; ++i) {
@@ -693,7 +693,7 @@ class BuggyLoop : public predictor::Predictor
 {
   public:
     bool
-    predict(const trace::BranchRecord &br) override
+    predict(const trace::BranchRecord &br) noexcept override
     {
         auto it = table_.find(br.pc);
         if (it == table_.end())
@@ -703,7 +703,7 @@ class BuggyLoop : public predictor::Predictor
     }
 
     void
-    update(const trace::BranchRecord &br, bool taken) override
+    update(const trace::BranchRecord &br, bool taken) noexcept override
     {
         auto it = table_.find(br.pc);
         if (it == table_.end()) {
@@ -749,7 +749,7 @@ class TageAllocWrongDirectionBug : public predictor::Tage
 
   protected:
     void
-    allocateEntry(Entry &slot, uint16_t tag, bool taken) override
+    allocateEntry(Entry &slot, uint16_t tag, bool taken) noexcept override
     {
         slot.tag = tag;
         uint8_t weak_taken =
@@ -772,7 +772,7 @@ class PerceptronWeightWrapBug : public predictor::Perceptron
 
   protected:
     int
-    clampWeight(int weight, bool taken) const override
+    clampWeight(int weight, bool taken) const noexcept override
     {
         int next = weight + (taken ? 1 : -1);
         // BUG: wraps to the opposite rail instead of saturating.
@@ -797,7 +797,7 @@ class TournamentBtbIgnoreMissBug : public predictor::Tournament
 
   protected:
     bool
-    btbHit(uint64_t) const override
+    btbHit(uint64_t) const noexcept override
     {
         return true; // BUG: every target is assumed buffered
     }
@@ -828,7 +828,7 @@ class TageShadowStateBug : public predictor::Tage
 
   protected:
     void
-    allocateEntry(Entry &slot, uint16_t tag, bool taken) override
+    allocateEntry(Entry &slot, uint16_t tag, bool taken) noexcept override
     {
         uint8_t &n = shadow_[tag];
         if (n < 255)
@@ -839,6 +839,37 @@ class TageShadowStateBug : public predictor::Tage
 
   private:
     std::unordered_map<uint16_t, uint8_t> shadow_; //!< hidden state
+};
+
+/**
+ * Gshare whose SoA batch path heap-allocates a scratch buffer per
+ * batch while predicting bit-identically to the clean implementation.
+ * No differential path can see it, and copra_lint's hot-region pass
+ * has no jurisdiction here (src/check/ is excluded as harness code) —
+ * exactly the defect class the runtime allocation gate
+ * (check/hot_gates.hpp) exists for, and the --inject self-test
+ * requires that gate to catch it. The allocation inside a noexcept
+ * override is part of the bug: a real regression would look the same.
+ */
+class HotPathAllocBug : public predictor::TwoLevel
+{
+  public:
+    using TwoLevel::TwoLevel;
+
+    uint64_t
+    predictUpdateSoa(const predictor::SoaBatch &batch,
+                     uint8_t *correct_out) noexcept override
+    {
+        // BUG: fresh heap scratch on every batch of the hot path.
+        // (correct_out is nullptr when the caller keeps no ledger.)
+        std::vector<uint8_t> scratch(batch.count);
+        uint64_t correct =
+            TwoLevel::predictUpdateSoa(batch, scratch.data());
+        if (correct_out != nullptr)
+            for (size_t i = 0; i < batch.count; ++i)
+                correct_out[i] = scratch[i];
+        return correct;
+    }
 };
 
 } // namespace
@@ -863,6 +894,8 @@ injectedBugName(InjectedBug bug)
         return "tournament-btb-ignore-miss";
       case InjectedBug::TageShadowState:
         return "tage-shadow-state";
+      case InjectedBug::HotPathAlloc:
+        return "hot-path-alloc";
     }
     return "unknown";
 }
@@ -936,6 +969,14 @@ injectedBugPair(InjectedBug bug)
                     return std::make_unique<TageShadowStateBug>(config);
                 },
                 [config] { return std::make_unique<RefTage>(config); }};
+      }
+      case InjectedBug::HotPathAlloc: {
+        TwoLevelConfig config = TwoLevelConfig::gshare(8);
+        return {std::string("injected:") + injectedBugName(bug),
+                [config] {
+                    return std::make_unique<HotPathAllocBug>(config);
+                },
+                [config] { return std::make_unique<RefTwoLevel>(config); }};
       }
     }
     panic("unknown injected bug");

@@ -179,10 +179,17 @@ enum class InjectedBug : uint8_t
                              //!< snapshots miss it — the hidden-state
                              //!< defect the round-trip gate
                              //!< (check/state_gates.hpp) exists for
+    HotPathAlloc,            //!< the SoA batch path reallocates scratch
+                             //!< per batch while predicting perfectly:
+                             //!< invisible to every differential path
+                             //!< and outside copra_lint's jurisdiction
+                             //!< (it lives under src/check/), so only
+                             //!< the runtime allocation gate
+                             //!< (check/hot_gates.hpp) can catch it
 };
 
 /** Number of InjectedBug values. */
-inline constexpr unsigned kInjectedBugCount = 8;
+inline constexpr unsigned kInjectedBugCount = 9;
 
 /** Stable name of an injected bug (CLI selector). */
 const char *injectedBugName(InjectedBug bug);

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Implementation of the runtime hot-path gates (hot_gates.hpp). See
+ * DESIGN.md §15 for the static/dynamic division of labor.
+ */
+
+#include "check/hot_gates.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <span>
+#include <sstream>
+
+#include "check/fuzz.hpp"
+#include "trace/trace.hpp"
+#include "util/sync.hpp"
+
+namespace copra::check {
+
+namespace {
+
+// copra-lint: sanctioned-global(hot-gate allocation tally, fed by the copra_check binary's operator-new hook)
+std::atomic<uint64_t> g_hotAllocs{0};
+// copra-lint: sanctioned-global(records whether the operator-new hook TU is linked into this binary)
+std::atomic<bool> g_allocProbeLinked{false};
+
+/**
+ * One full replay along the path sim::run drives: conditional SoA
+ * segments through predictUpdateSoa, everything else through
+ * observe(). The SoA image and record span are caller-materialized —
+ * Trace::soa() guards its lazy cache with a mutex, and the measured
+ * region must take no locks of its own. @p correct is caller-owned
+ * scratch, pre-sized to the largest segment, so the measured region
+ * itself allocates nothing either.
+ */
+void
+soaReplay(const trace::SoABlocks &soa,
+          std::span<const trace::BranchRecord> records,
+          predictor::Predictor &pred, std::vector<uint8_t> &correct)
+{
+    size_t pos = 0;
+    for (const trace::SoABlocks::Segment &seg :
+         soa.conditionalSegments()) {
+        for (; pos < seg.begin; ++pos)
+            pred.observe(records[pos]);
+        predictor::SoaBatch batch{soa.pc() + seg.begin,
+                                  soa.taken() + seg.begin,
+                                  records.data() + seg.begin, seg.count};
+        pred.predictUpdateSoa(batch, correct.data());
+        pos = seg.begin + seg.count;
+    }
+    for (; pos < records.size(); ++pos)
+        pred.observe(records[pos]);
+}
+
+/** Largest conditional segment of @p soa (scratch sizing). */
+size_t
+maxSegment(const trace::SoABlocks &soa)
+{
+    size_t n = 1;
+    for (const trace::SoABlocks::Segment &seg :
+         soa.conditionalSegments())
+        if (seg.count > n)
+            n = seg.count;
+    return n;
+}
+
+/**
+ * A terminate handler that names the contract being enforced: the lint
+ * pass forces every hot function to be noexcept, so an exception on
+ * the hot path lands here rather than unwinding into silent
+ * mispredictions.
+ */
+[[noreturn]] void
+hotGateTerminate()
+{
+    std::fputs("copra_check --hot-gates: std::terminate reached — an "
+               "exception escaped the noexcept hot region "
+               "(DESIGN.md §15)\n",
+               stderr);
+    std::abort();
+}
+
+/** RAII terminate-handler swap for the duration of the gates. */
+class TerminateGuard
+{
+  public:
+    TerminateGuard() : prev_(std::set_terminate(&hotGateTerminate)) {}
+    ~TerminateGuard() { std::set_terminate(prev_); }
+    TerminateGuard(const TerminateGuard &) = delete;
+    TerminateGuard &operator=(const TerminateGuard &) = delete;
+
+  private:
+    std::terminate_handler prev_;
+};
+
+} // namespace
+
+void
+noteHotAlloc() noexcept
+{
+    g_hotAllocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+registerAllocProbe() noexcept
+{
+    g_allocProbeLinked.store(true, std::memory_order_relaxed);
+}
+
+bool
+allocProbeLinked() noexcept
+{
+    return g_allocProbeLinked.load(std::memory_order_relaxed);
+}
+
+uint64_t
+hotAllocCount() noexcept
+{
+    return g_hotAllocs.load(std::memory_order_relaxed);
+}
+
+HotGateReport
+runHotGates(const HotGateOptions &options,
+            const std::vector<StatePredictor> &roster)
+{
+    HotGateReport report;
+    report.allocProbe = allocProbeLinked();
+    TerminateGuard terminate_guard;
+
+    for (const StatePredictor &entry : roster) {
+        for (uint64_t seed = options.seedBase;
+             seed < options.seedBase + options.traces; ++seed) {
+            trace::Trace trace = fuzzTrace(seed, options.conditionals);
+            // Materialize the SoA image here: Trace::soa() locks its
+            // lazy cache on every call, so the measured passes work
+            // from direct references.
+            const trace::SoABlocks &soa = trace.soa();
+            std::span<const trace::BranchRecord> records =
+                trace.records();
+            std::vector<uint8_t> correct(maxSegment(soa));
+
+            // Warm-up: first-touch table fills, then history-keyed
+            // instrument pinning — including per-address history
+            // registers of rare branches, which converge only after
+            // ceil(history_bits / occurrences-per-pass) passes (see
+            // HotGateOptions::warmupPasses).
+            predictor::PredictorPtr pred = entry.make();
+            for (uint64_t pass = 0; pass < options.warmupPasses;
+                 ++pass)
+                soaReplay(soa, records, *pred, correct);
+
+            for (uint64_t pass = 0; pass < options.steadyPasses;
+                 ++pass) {
+                uint64_t allocs_before = hotAllocCount();
+                uint64_t locks_before = util::lockAcquisitionCount();
+                soaReplay(soa, records, *pred, correct);
+                uint64_t alloc_delta =
+                    hotAllocCount() - allocs_before;
+                uint64_t lock_delta =
+                    util::lockAcquisitionCount() - locks_before;
+
+                if (report.allocProbe) {
+                    ++report.gatesRun;
+                    if (alloc_delta != 0) {
+                        report.failures.push_back(
+                            {entry.spec, "hot-alloc", seed,
+                             std::to_string(alloc_delta) +
+                                 " heap allocation(s) in a "
+                                 "steady-state replay of " +
+                                 std::to_string(options.conditionals) +
+                                 " conditionals"});
+                    }
+                }
+                ++report.gatesRun;
+                if (lock_delta != 0) {
+                    report.failures.push_back(
+                        {entry.spec, "hot-lock", seed,
+                         std::to_string(lock_delta) +
+                             " lock acquisition(s) in a steady-state "
+                             "replay of " +
+                             std::to_string(options.conditionals) +
+                             " conditionals"});
+                }
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+formatHotGateReport(const HotGateReport &report)
+{
+    std::ostringstream os;
+    os << "hot gates: " << report.gatesRun << " checks, "
+       << report.failures.size() << " failure(s)";
+    if (!report.allocProbe)
+        os << " [alloc probe absent: sanitizer build owns the "
+              "allocator, only the lock gate ran]";
+    os << "\n";
+    for (const HotGateFailure &f : report.failures) {
+        os << "  FAIL " << f.spec << " [" << f.gate
+           << "] seed=" << f.seed << ": " << f.detail << "\n";
+    }
+    return os.str();
+}
+
+} // namespace copra::check

@@ -77,7 +77,7 @@ RefTwoLevel::counterOf(uint64_t index) const
 }
 
 bool
-RefTwoLevel::predict(const trace::BranchRecord &br)
+RefTwoLevel::predict(const trace::BranchRecord &br) noexcept
 {
     // Taken iff the counter is past the weakly-not-taken init value,
     // i.e. its most significant bit is set.
@@ -85,7 +85,7 @@ RefTwoLevel::predict(const trace::BranchRecord &br)
 }
 
 void
-RefTwoLevel::update(const trace::BranchRecord &br, bool taken)
+RefTwoLevel::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // Train the counter selected under the *pre-update* history, then
     // shift the outcome into the first-level history.
@@ -136,7 +136,7 @@ RefBimodal::RefBimodal(unsigned table_bits)
 }
 
 bool
-RefBimodal::predict(const trace::BranchRecord &br)
+RefBimodal::predict(const trace::BranchRecord &br) noexcept
 {
     uint64_t index = (br.pc >> 2) % (uint64_t(1) << tableBits_);
     auto it = counters_.find(index);
@@ -145,7 +145,7 @@ RefBimodal::predict(const trace::BranchRecord &br)
 }
 
 void
-RefBimodal::update(const trace::BranchRecord &br, bool taken)
+RefBimodal::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     uint64_t index = (br.pc >> 2) % (uint64_t(1) << tableBits_);
     auto it = counters_.find(index);
@@ -174,7 +174,7 @@ RefBimodal::name() const
 // RefLoop
 
 bool
-RefLoop::predict(const trace::BranchRecord &br)
+RefLoop::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = table_.find(br.pc);
     if (it == table_.end())
@@ -188,7 +188,7 @@ RefLoop::predict(const trace::BranchRecord &br)
 }
 
 void
-RefLoop::update(const trace::BranchRecord &br, bool taken)
+RefLoop::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     auto it = table_.find(br.pc);
     if (it == table_.end()) {
@@ -226,7 +226,7 @@ RefLoop::reset()
 // RefBlockPattern
 
 bool
-RefBlockPattern::predict(const trace::BranchRecord &br)
+RefBlockPattern::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = table_.find(br.pc);
     if (it == table_.end())
@@ -238,7 +238,7 @@ RefBlockPattern::predict(const trace::BranchRecord &br)
 }
 
 void
-RefBlockPattern::update(const trace::BranchRecord &br, bool taken)
+RefBlockPattern::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     auto it = table_.find(br.pc);
     if (it == table_.end()) {
@@ -275,7 +275,7 @@ RefFixedPattern::RefFixedPattern(unsigned k)
 }
 
 bool
-RefFixedPattern::predict(const trace::BranchRecord &br)
+RefFixedPattern::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = outcomes_.find(br.pc);
     if (it == outcomes_.end())
@@ -287,7 +287,7 @@ RefFixedPattern::predict(const trace::BranchRecord &br)
 }
 
 void
-RefFixedPattern::update(const trace::BranchRecord &br, bool taken)
+RefFixedPattern::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     outcomes_[br.pc].push_back(taken);
 }
@@ -317,7 +317,7 @@ RefHybrid::RefHybrid(predictor::PredictorPtr a, predictor::PredictorPtr b,
 }
 
 bool
-RefHybrid::predict(const trace::BranchRecord &br)
+RefHybrid::predict(const trace::BranchRecord &br) noexcept
 {
     lastA_ = a_->predict(br);
     lastB_ = b_->predict(br);
@@ -329,7 +329,7 @@ RefHybrid::predict(const trace::BranchRecord &br)
 }
 
 void
-RefHybrid::update(const trace::BranchRecord &br, bool taken)
+RefHybrid::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     bool correct_a = lastA_ == taken;
     bool correct_b = lastB_ == taken;
@@ -438,13 +438,13 @@ RefTage::lookup(uint64_t pc) const
 }
 
 bool
-RefTage::predict(const trace::BranchRecord &br)
+RefTage::predict(const trace::BranchRecord &br) noexcept
 {
     return lookup(br.pc).prediction;
 }
 
 void
-RefTage::update(const trace::BranchRecord &br, bool taken)
+RefTage::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     Lookup l = lookup(br.pc);
     bool mispredict = l.prediction != taken;
@@ -575,13 +575,13 @@ RefPerceptron::sumOf(uint64_t pc) const
 }
 
 bool
-RefPerceptron::predict(const trace::BranchRecord &br)
+RefPerceptron::predict(const trace::BranchRecord &br) noexcept
 {
     return sumOf(br.pc) >= 0;
 }
 
 void
-RefPerceptron::update(const trace::BranchRecord &br, bool taken)
+RefPerceptron::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     int yout = sumOf(br.pc);
     bool predicted = yout >= 0;
@@ -692,7 +692,7 @@ RefTournament::btbAccess(uint64_t pc)
 }
 
 bool
-RefTournament::predict(const trace::BranchRecord &br)
+RefTournament::predict(const trace::BranchRecord &br) noexcept
 {
     bool global_pred = global_.predict(br);
     bool local_pred = local_.predict(br);
@@ -708,7 +708,7 @@ RefTournament::predict(const trace::BranchRecord &br)
 }
 
 void
-RefTournament::update(const trace::BranchRecord &br, bool taken)
+RefTournament::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     bool global_pred = global_.predict(br);
     bool local_pred = local_.predict(br);
@@ -731,7 +731,7 @@ RefTournament::update(const trace::BranchRecord &br, bool taken)
 }
 
 void
-RefTournament::observe(const trace::BranchRecord &br)
+RefTournament::observe(const trace::BranchRecord &br) noexcept
 {
     using trace::BranchKind;
     if (br.kind == BranchKind::Jump || br.kind == BranchKind::Call)

@@ -57,8 +57,8 @@ class RefTwoLevel : public predictor::Predictor
   public:
     explicit RefTwoLevel(const predictor::TwoLevelConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -82,8 +82,8 @@ class RefBimodal : public predictor::Predictor
   public:
     explicit RefBimodal(unsigned table_bits = 12);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -100,8 +100,8 @@ class RefBimodal : public predictor::Predictor
 class RefLoop : public predictor::Predictor
 {
   public:
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override { return "ref-loop"; }
 
@@ -123,8 +123,8 @@ class RefLoop : public predictor::Predictor
 class RefBlockPattern : public predictor::Predictor
 {
   public:
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override { return "ref-block"; }
 
@@ -147,8 +147,8 @@ class RefFixedPattern : public predictor::Predictor
   public:
     explicit RefFixedPattern(unsigned k);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -170,8 +170,8 @@ class RefHybrid : public predictor::Predictor
     RefHybrid(predictor::PredictorPtr a, predictor::PredictorPtr b,
               unsigned chooser_bits = 12);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -196,8 +196,8 @@ class RefTage : public predictor::Predictor
   public:
     explicit RefTage(const predictor::TageConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -239,8 +239,8 @@ class RefPerceptron : public predictor::Predictor
   public:
     explicit RefPerceptron(const predictor::PerceptronConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -269,9 +269,9 @@ class RefTournament : public predictor::Predictor
   public:
     explicit RefTournament(const predictor::TournamentConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
-    void observe(const trace::BranchRecord &br) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
+    void observe(const trace::BranchRecord &br) noexcept override;
     void reset() override;
     std::string name() const override;
 

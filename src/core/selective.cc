@@ -5,7 +5,7 @@
 namespace copra::core {
 
 TagOutcome
-stateOf(const std::vector<TagState> &collected, const Tag &tag)
+stateOf(const std::vector<TagState> &collected, const Tag &tag) noexcept
 {
     for (const TagState &ts : collected)
         if (ts.tag == tag)
@@ -21,7 +21,7 @@ SelectiveTable::SelectiveTable(unsigned arity)
 }
 
 uint32_t
-SelectiveTable::patternOf(const TagOutcome *states, unsigned arity)
+SelectiveTable::patternOf(const TagOutcome *states, unsigned arity) noexcept
 {
     uint32_t pattern = 0;
     uint32_t radix = 1;
@@ -33,14 +33,14 @@ SelectiveTable::patternOf(const TagOutcome *states, unsigned arity)
 }
 
 bool
-SelectiveTable::predict(uint32_t pattern) const
+SelectiveTable::predict(uint32_t pattern) const noexcept
 {
     panicIf(pattern >= counters_.size(), "selective pattern out of range");
     return counters_[pattern].taken();
 }
 
 void
-SelectiveTable::update(uint32_t pattern, bool taken)
+SelectiveTable::update(uint32_t pattern, bool taken) noexcept
 {
     panicIf(pattern >= counters_.size(), "selective pattern out of range");
     counters_[pattern].update(taken);
@@ -59,7 +59,7 @@ SelectivePredictor::SelectivePredictor(
 }
 
 uint32_t
-SelectivePredictor::currentPattern(uint64_t pc)
+SelectivePredictor::currentPattern(uint64_t pc) noexcept
 {
     auto sel = selections_.find(pc);
     if (sel == selections_.end())
@@ -73,7 +73,7 @@ SelectivePredictor::currentPattern(uint64_t pc)
 }
 
 bool
-SelectivePredictor::predict(const trace::BranchRecord &br)
+SelectivePredictor::predict(const trace::BranchRecord &br) noexcept
 {
     auto sel = selections_.find(br.pc);
     unsigned arity = sel == selections_.end()
@@ -91,20 +91,24 @@ SelectivePredictor::predict(const trace::BranchRecord &br)
 }
 
 void
-SelectivePredictor::update(const trace::BranchRecord &br, bool taken)
+SelectivePredictor::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     auto sel = selections_.find(br.pc);
     unsigned arity = sel == selections_.end()
         ? 1 : static_cast<unsigned>(sel->second.size());
     uint32_t pattern = sel == selections_.end()
         ? 0 : currentPattern(br.pc);
+    // The paper's hypothetical selective predictor is an analysis
+    // instrument with unbounded per-pc tables; it sits outside the
+    // perf roster and the runtime hot gates.
+    // copra-lint: allow(hot-alloc) -- analysis instrument, unbounded tables
     auto [it, inserted] = tables_.try_emplace(br.pc, arity);
     it->second.update(pattern, taken);
     window_.push(br);
 }
 
 void
-SelectivePredictor::observe(const trace::BranchRecord &br)
+SelectivePredictor::observe(const trace::BranchRecord &br) noexcept
 {
     window_.push(br);
 }

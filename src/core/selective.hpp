@@ -34,7 +34,7 @@ enum class TagOutcome : uint8_t
 };
 
 /** Encode a collected window against one watched tag. */
-TagOutcome stateOf(const std::vector<TagState> &collected, const Tag &tag);
+TagOutcome stateOf(const std::vector<TagState> &collected, const Tag &tag) noexcept;
 
 /** 3^m for m in 0..8 (pattern table sizes). */
 constexpr uint32_t
@@ -57,15 +57,15 @@ class SelectiveTable
     explicit SelectiveTable(unsigned arity);
 
     /** Pattern index of a state vector (radix-3 little-endian). */
-    static uint32_t patternOf(const TagOutcome *states, unsigned arity);
+    static uint32_t patternOf(const TagOutcome *states, unsigned arity) noexcept;
 
     /** Predict for the pattern @p pattern. */
-    bool predict(uint32_t pattern) const;
+    bool predict(uint32_t pattern) const noexcept;
 
     /** Train the counter for @p pattern with @p taken. */
-    void update(uint32_t pattern, bool taken);
+    void update(uint32_t pattern, bool taken) noexcept;
 
-    unsigned arity() const { return arity_; }
+    unsigned arity() const noexcept { return arity_; }
 
   private:
     unsigned arity_;
@@ -93,14 +93,14 @@ class SelectivePredictor : public predictor::Predictor
         std::unordered_map<uint64_t, std::vector<Tag>> selections,
         unsigned depth);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
-    void observe(const trace::BranchRecord &br) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
+    void observe(const trace::BranchRecord &br) noexcept override;
     void reset() override;
     std::string name() const override;
 
   private:
-    uint32_t currentPattern(uint64_t pc);
+    uint32_t currentPattern(uint64_t pc) noexcept;
 
     std::unordered_map<uint64_t, std::vector<Tag>> selections_;
     unsigned depth_;

@@ -12,7 +12,7 @@ HistoryWindow::HistoryWindow(unsigned depth)
 }
 
 void
-HistoryWindow::push(const trace::BranchRecord &rec)
+HistoryWindow::push(const trace::BranchRecord &rec) noexcept
 {
     switch (rec.kind) {
       case trace::BranchKind::Conditional:
@@ -35,11 +35,15 @@ HistoryWindow::push(const trace::BranchRecord &rec)
 }
 
 void
-HistoryWindow::collect(std::vector<TagState> &out) const
+HistoryWindow::collect(std::vector<TagState> &out) const noexcept
 {
     out.clear();
     if (count_ == 0)
         return;
+    // Analysis-side tagging window for the selective predictor:
+    // capacity stabilizes after the first few collect() calls and the
+    // path is outside the runtime hot gates.
+    // copra-lint: allow(hot-alloc) -- analysis-side, capacity stabilizes
     out.reserve(2 * count_);
 
     // Newest-first walk of the ring. For method A, the occurrence index
@@ -57,6 +61,7 @@ HistoryWindow::collect(std::vector<TagState> &out) const
                 ++occurrence;
         }
         if (occurrence <= 0xff) {
+            // copra-lint: allow(hot-alloc) -- within the reserve() above
             out.push_back({Tag(entry.pc, TagMethod::Occurrence,
                                static_cast<uint8_t>(occurrence)),
                            entry.taken});
@@ -76,6 +81,7 @@ HistoryWindow::collect(std::vector<TagState> &out) const
                 }
             }
             if (!duplicate)
+                // copra-lint: allow(hot-alloc) -- within the reserve() above
                 out.push_back({tag_b, entry.taken});
         }
     }

@@ -44,13 +44,13 @@ struct Tag
     uint64_t packed = 0;
 
     Tag() = default;
-    Tag(uint64_t pc, TagMethod method, uint8_t num)
+    Tag(uint64_t pc, TagMethod method, uint8_t num) noexcept
         : packed((pc << 9) |
                  (static_cast<uint64_t>(method) << 8) | num)
     {
     }
 
-    uint64_t pc() const { return packed >> 9; }
+    uint64_t pc() const noexcept { return packed >> 9; }
     TagMethod method() const
     {
         return static_cast<TagMethod>((packed >> 8) & 1);
@@ -93,7 +93,7 @@ class HistoryWindow
      * newest first, both tagging methods per entry (method B entries
      * deduplicated keeping the most recent). Clears and fills @p out.
      */
-    void collect(std::vector<TagState> &out) const;
+    void collect(std::vector<TagState> &out) const noexcept;
 
     /**
      * Advance past a record. Conditional branches enter the window;
@@ -101,7 +101,7 @@ class HistoryWindow
      * jumps advance the method-B iteration count. Calls and returns
      * only pass through.
      */
-    void push(const trace::BranchRecord &rec);
+    void push(const trace::BranchRecord &rec) noexcept;
 
     /** Forget everything. */
     void clear();

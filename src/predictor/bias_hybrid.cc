@@ -47,14 +47,14 @@ BiasClassifyingHybrid::profileTrace(const trace::Trace &trace,
 }
 
 const BiasProfile *
-BiasClassifyingHybrid::entry(uint64_t pc) const
+BiasClassifyingHybrid::entry(uint64_t pc) const noexcept
 {
     auto it = profile_.find(pc);
     return it == profile_.end() ? nullptr : &it->second;
 }
 
 bool
-BiasClassifyingHybrid::predict(const trace::BranchRecord &br)
+BiasClassifyingHybrid::predict(const trace::BranchRecord &br) noexcept
 {
     const BiasProfile *e = entry(br.pc);
     if (e != nullptr && e->strongly)
@@ -63,7 +63,7 @@ BiasClassifyingHybrid::predict(const trace::BranchRecord &br)
 }
 
 void
-BiasClassifyingHybrid::update(const trace::BranchRecord &br, bool taken)
+BiasClassifyingHybrid::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     const BiasProfile *e = entry(br.pc);
     // Strongly biased branches neither consult nor train the dynamic
@@ -77,7 +77,7 @@ BiasClassifyingHybrid::update(const trace::BranchRecord &br, bool taken)
 }
 
 void
-BiasClassifyingHybrid::observe(const trace::BranchRecord &br)
+BiasClassifyingHybrid::observe(const trace::BranchRecord &br) noexcept
 {
     dynamic_->observe(br);
 }

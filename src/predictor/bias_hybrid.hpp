@@ -50,9 +50,9 @@ class BiasClassifyingHybrid : public Predictor
     static std::unordered_map<uint64_t, BiasProfile>
     profileTrace(const trace::Trace &trace, double threshold = 0.95);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
-    void observe(const trace::BranchRecord &br) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
+    void observe(const trace::BranchRecord &br) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -80,7 +80,7 @@ class BiasClassifyingHybrid : public Predictor
     COPRA_STATE_FIELDS(dynamic_);
 
   private:
-    const BiasProfile *entry(uint64_t pc) const;
+    const BiasProfile *entry(uint64_t pc) const noexcept;
 
     std::unordered_map<uint64_t, BiasProfile> profile_;
     PredictorPtr dynamic_;

@@ -13,40 +13,41 @@ Bimodal::Bimodal(unsigned table_bits)
     fatalIf(table_bits == 0 || table_bits > 30,
             "bimodal table bits must be in 1..30");
     table_.assign(size_t(1) << table_bits, Counter2{});
+    // The batch path is hot-region code (DESIGN.md §15): resolve the
+    // kernel dispatch once (activeTier's guarded init is a lock) and
+    // pre-size the tile scratch so the loop never touches the heap.
+    kernels_ = &kernels::active();
+    idxScratch_.resize(kKernelTile);
 }
 
 size_t
-Bimodal::indexOf(uint64_t pc) const
+Bimodal::indexOf(uint64_t pc) const noexcept
 {
     // Branches are word aligned; drop the low two bits before indexing.
     return (pc >> 2) & ((size_t(1) << tableBits_) - 1);
 }
 
 bool
-Bimodal::predict(const trace::BranchRecord &br)
+Bimodal::predict(const trace::BranchRecord &br) noexcept
 {
     return table_[indexOf(br.pc)].taken();
 }
 
 void
-Bimodal::update(const trace::BranchRecord &br, bool taken)
+Bimodal::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     table_[indexOf(br.pc)].update(taken);
 }
 
 uint64_t
-Bimodal::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+Bimodal::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept
 {
     if (batch.count == 0)
         return 0;
     kernelCounts_.note(batch.count);
 
-    const kernels::Kernels &k = kernels::active();
+    const kernels::Kernels &k = *kernels_;
     const uint64_t mask = (uint64_t(1) << tableBits_) - 1;
-    size_t tile = std::min(kKernelTile, batch.count);
-    if (idxScratch_.size() < tile)
-        idxScratch_.resize(tile);
-
     uint64_t n_correct = 0;
     size_t base = 0;
     while (base < batch.count) {

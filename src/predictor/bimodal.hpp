@@ -28,8 +28,8 @@ class Bimodal : public Predictor
     /** @param table_bits log2 of the number of counters (1..30). */
     explicit Bimodal(unsigned table_bits = 12);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
 
     /**
      * Column-kernel batch path: table indices come from the dispatched
@@ -37,7 +37,7 @@ class Bimodal : public Predictor
      * serial because aliasing branches must see each other's updates.
      */
     uint64_t predictUpdateSoa(const SoaBatch &batch,
-                              uint8_t *correct_out) override;
+                              uint8_t *correct_out) noexcept override;
 
     void reset() override;
     std::string name() const override;
@@ -66,18 +66,22 @@ class Bimodal : public Predictor
 
     COPRA_CONFIG_FIELDS(tableBits_);
     COPRA_STATE_FIELDS(table_);
-    COPRA_TRANSIENT_FIELDS(idxScratch_, kernelCounts_);
+    COPRA_TRANSIENT_FIELDS(idxScratch_, kernelCounts_, kernels_);
 
   private:
     /** Records per kernel tile (see TwoLevel::kKernelTile). */
     static constexpr size_t kKernelTile = 2048;
 
-    size_t indexOf(uint64_t pc) const;
+    size_t indexOf(uint64_t pc) const noexcept;
 
     unsigned tableBits_;
     std::vector<Counter2> table_;
     std::vector<uint32_t> idxScratch_; // kernel tile: table indices
     kernels::BatchCounters kernelCounts_; // flushes to obs on destroy
+    /** Dispatch table resolved once at construction: the tier is fixed
+     * per process, and activeTier()'s guarded initialization is off
+     * limits inside the hot region (hot-lock). */
+    const kernels::Kernels *kernels_ = nullptr;
 };
 
 } // namespace copra::predictor

@@ -10,7 +10,7 @@ BlockPatternPredictor::state(uint64_t pc) const
 }
 
 bool
-BlockPatternPredictor::predict(const trace::BranchRecord &br)
+BlockPatternPredictor::predict(const trace::BranchRecord &br) noexcept
 {
     const BlockState *st = table_.find(br.pc);
     if (st == nullptr || !st->seen)
@@ -22,7 +22,7 @@ BlockPatternPredictor::predict(const trace::BranchRecord &br)
 }
 
 void
-BlockPatternPredictor::update(const trace::BranchRecord &br, bool taken)
+BlockPatternPredictor::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     BlockState &st = table_.access(br.pc);
     if (!st.seen) {

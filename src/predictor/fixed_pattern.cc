@@ -13,7 +13,7 @@ FixedPattern::FixedPattern(unsigned k)
 }
 
 bool
-FixedPattern::predict(const trace::BranchRecord &br)
+FixedPattern::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = rings_.find(br.pc);
     if (it == rings_.end())
@@ -22,7 +22,7 @@ FixedPattern::predict(const trace::BranchRecord &br)
 }
 
 void
-FixedPattern::update(const trace::BranchRecord &br, bool taken)
+FixedPattern::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     rings_[br.pc].push(taken);
 }
@@ -40,7 +40,7 @@ FixedPattern::name() const
 }
 
 void
-FixedPatternBank::observe(uint64_t pc, bool taken)
+FixedPatternBank::observe(uint64_t pc, bool taken) noexcept
 {
     BranchCounts &bc = table_[pc];
     for (unsigned k = 1; k <= kMaxK; ++k)

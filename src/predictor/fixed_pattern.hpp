@@ -29,7 +29,7 @@ struct OutcomeRing
 
     /** Record a new outcome. */
     void
-    push(bool taken)
+    push(bool taken) noexcept
     {
         bits = (bits << 1) | (taken ? 1u : 0u);
         if (count < UINT32_MAX)
@@ -41,7 +41,7 @@ struct OutcomeRing
      * when fewer than k outcomes have been recorded.
      */
     bool
-    kAgo(unsigned k, bool cold_default = true) const
+    kAgo(unsigned k, bool cold_default = true) const noexcept
     {
         if (count < k)
             return cold_default;
@@ -56,8 +56,8 @@ class FixedPattern : public Predictor
     /** @param k Pattern length hypothesis, 1..32. */
     explicit FixedPattern(unsigned k);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -114,7 +114,7 @@ class FixedPatternBank
     };
 
     /** Observe one execution of the branch at @p pc. */
-    void observe(uint64_t pc, bool taken);
+    void observe(uint64_t pc, bool taken) noexcept;
 
     /** Best correct-count over k for @p pc (0 if unseen). */
     uint64_t bestCorrect(uint64_t pc) const;

@@ -33,7 +33,7 @@ GSkewed::GSkewed(unsigned history_bits, unsigned bank_bits)
 }
 
 size_t
-GSkewed::bankIndex(unsigned bank, uint64_t pc) const
+GSkewed::bankIndex(unsigned bank, uint64_t pc) const noexcept
 {
     uint64_t key = (history_.value() << 20) ^ (pc >> 2);
     uint64_t mixed = key * kMultipliers[bank];
@@ -41,7 +41,7 @@ GSkewed::bankIndex(unsigned bank, uint64_t pc) const
 }
 
 bool
-GSkewed::predict(const trace::BranchRecord &br)
+GSkewed::predict(const trace::BranchRecord &br) noexcept
 {
     int votes = 0;
     for (unsigned b = 0; b < 3; ++b)
@@ -51,7 +51,7 @@ GSkewed::predict(const trace::BranchRecord &br)
 }
 
 void
-GSkewed::update(const trace::BranchRecord &br, bool taken)
+GSkewed::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // Partial update: on a correct majority vote, only the banks that
     // voted with the outcome strengthen; on a mispredict, all banks

@@ -39,13 +39,13 @@ class GSkewed : public Predictor
      */
     explicit GSkewed(unsigned history_bits = 16, unsigned bank_bits = 14);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
     /** Bank index of @p bank for @p pc under the current history. */
-    size_t bankIndex(unsigned bank, uint64_t pc) const;
+    size_t bankIndex(unsigned bank, uint64_t pc) const noexcept;
 
     // State contract (DESIGN.md §14): the global history register plus
     // 2 bits per counter across the three banks.

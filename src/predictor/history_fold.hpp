@@ -37,7 +37,7 @@ class FoldedHistory
 
     /** Shift in a new outcome (true = taken), newest in bit 0. */
     void
-    push(bool taken)
+    push(bool taken) noexcept
     {
         words_[1] = (words_[1] << 1) | (words_[0] >> 63);
         words_[0] = (words_[0] << 1) | (taken ? 1 : 0);
@@ -64,7 +64,7 @@ class FoldedHistory
      * chunk; the final partial chunk is zero-padded.
      */
     uint64_t
-    fold(unsigned length, unsigned width) const
+    fold(unsigned length, unsigned width) const noexcept
     {
         panicIf(length > kMaxBits,
                 "FoldedHistory::fold length exceeds kMaxBits");
@@ -97,7 +97,7 @@ class FoldedHistory
   private:
     /** Bits [lo, lo + take) of the packed history, oldest ones zero. */
     uint64_t
-    window(unsigned lo, unsigned take) const
+    window(unsigned lo, unsigned take) const noexcept
     {
         uint64_t chunk;
         if (lo >= 64) {

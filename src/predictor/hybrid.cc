@@ -15,13 +15,13 @@ Hybrid::Hybrid(PredictorPtr a, PredictorPtr b, unsigned chooser_bits)
 }
 
 size_t
-Hybrid::chooserIndex(uint64_t pc) const
+Hybrid::chooserIndex(uint64_t pc) const noexcept
 {
     return (pc >> 2) & ((size_t(1) << chooserBits_) - 1);
 }
 
 bool
-Hybrid::predict(const trace::BranchRecord &br)
+Hybrid::predict(const trace::BranchRecord &br) noexcept
 {
     lastA_ = a_->predict(br);
     lastB_ = b_->predict(br);
@@ -30,7 +30,7 @@ Hybrid::predict(const trace::BranchRecord &br)
 }
 
 void
-Hybrid::update(const trace::BranchRecord &br, bool taken)
+Hybrid::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // The driver contract guarantees update() follows predict() for the
     // same branch; recompute defensively if the contract was violated.

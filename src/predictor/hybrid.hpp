@@ -35,8 +35,8 @@ class Hybrid : public Predictor
      */
     Hybrid(PredictorPtr a, PredictorPtr b, unsigned chooser_bits = 12);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -87,7 +87,7 @@ class Hybrid : public Predictor
     COPRA_STATE_FIELDS(a_, b_, chooser_, lastA_, lastB_, lastPc_);
 
   private:
-    size_t chooserIndex(uint64_t pc) const;
+    size_t chooserIndex(uint64_t pc) const noexcept;
 
     PredictorPtr a_;
     PredictorPtr b_;

@@ -30,8 +30,8 @@ class IdealStatic : public Predictor
     /** Profile @p trace and build the ideal static predictor for it. */
     static IdealStatic fromTrace(const trace::Trace &trace);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &, bool) override {}
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &, bool) noexcept override {}
     void reset() override {} // profile knowledge is not adaptive state
     std::string name() const override { return "ideal-static"; }
 

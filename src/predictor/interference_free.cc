@@ -13,7 +13,7 @@ IfGshare::IfGshare(unsigned history_bits)
 }
 
 uint64_t
-IfGshare::keyOf(uint64_t pc) const
+IfGshare::keyOf(uint64_t pc) const noexcept
 {
     // A private PHT per branch == counters keyed by the exact
     // (pc, history) pair. pc values fit in 32 bits for every workload in
@@ -23,14 +23,14 @@ IfGshare::keyOf(uint64_t pc) const
 }
 
 bool
-IfGshare::predict(const trace::BranchRecord &br)
+IfGshare::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = pht_.find(keyOf(br.pc));
     return it == pht_.end() ? Counter2{}.taken() : it->second.taken();
 }
 
 void
-IfGshare::update(const trace::BranchRecord &br, bool taken)
+IfGshare::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     pht_[keyOf(br.pc)].update(taken);
     history_.push(taken);
@@ -60,7 +60,7 @@ IfPas::IfPas(unsigned history_bits)
 }
 
 uint64_t
-IfPas::keyOf(uint64_t pc) const
+IfPas::keyOf(uint64_t pc) const noexcept
 {
     auto it = histories_.find(pc);
     uint64_t hist = it == histories_.end() ? 0 : it->second;
@@ -69,14 +69,14 @@ IfPas::keyOf(uint64_t pc) const
 }
 
 bool
-IfPas::predict(const trace::BranchRecord &br)
+IfPas::predict(const trace::BranchRecord &br) noexcept
 {
     auto it = pht_.find(keyOf(br.pc));
     return it == pht_.end() ? Counter2{}.taken() : it->second.taken();
 }
 
 void
-IfPas::update(const trace::BranchRecord &br, bool taken)
+IfPas::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     pht_[keyOf(br.pc)].update(taken);
     uint64_t &hist = histories_[br.pc];

@@ -31,8 +31,8 @@ class IfGshare : public Predictor
     /** @param history_bits Global history length (paper uses 16). */
     explicit IfGshare(unsigned history_bits = 16);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -69,7 +69,7 @@ class IfGshare : public Predictor
     COPRA_STATE_FIELDS(history_, pht_);
 
   private:
-    uint64_t keyOf(uint64_t pc) const;
+    uint64_t keyOf(uint64_t pc) const noexcept;
 
     unsigned historyBits_;
     HistoryRegister history_;
@@ -86,8 +86,8 @@ class IfPas : public Predictor
     /** @param history_bits Per-branch history length. */
     explicit IfPas(unsigned history_bits = 12);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -127,7 +127,7 @@ class IfPas : public Predictor
     COPRA_STATE_FIELDS(histories_, pht_);
 
   private:
-    uint64_t keyOf(uint64_t pc) const;
+    uint64_t keyOf(uint64_t pc) const noexcept;
 
     unsigned historyBits_;
     uint64_t historyMask_;

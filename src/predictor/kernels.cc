@@ -21,28 +21,30 @@ BatchCounters::~BatchCounters()
 
 namespace {
 
-void
+COPRA_HOT void
 xorIndicesScalar(const uint64_t *hist, const uint64_t *pc, size_t n,
-                 uint64_t history_mask, uint64_t pht_mask, uint32_t *idx)
+                 uint64_t history_mask, uint64_t pht_mask,
+                 uint32_t *idx) noexcept
 {
     for (size_t k = 0; k < n; ++k)
         idx[k] = static_cast<uint32_t>(
             ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask);
 }
 
-void
+COPRA_HOT void
 maskIndicesScalar(const uint64_t *hist, size_t n, uint64_t history_mask,
-                  uint64_t pht_mask, uint32_t *idx)
+                  uint64_t pht_mask, uint32_t *idx) noexcept
 {
     uint64_t mask = history_mask & pht_mask;
     for (size_t k = 0; k < n; ++k)
         idx[k] = static_cast<uint32_t>(hist[k] & mask);
 }
 
-void
+COPRA_HOT void
 concatIndicesScalar(const uint64_t *hist, const uint64_t *pc, size_t n,
                     uint64_t history_mask, unsigned history_bits,
-                    uint64_t select_mask, uint64_t pht_mask, uint32_t *idx)
+                    uint64_t select_mask, uint64_t pht_mask,
+                    uint32_t *idx) noexcept
 {
     for (size_t k = 0; k < n; ++k) {
         uint64_t select = (pc[k] >> 2) & select_mask;
@@ -52,8 +54,9 @@ concatIndicesScalar(const uint64_t *hist, const uint64_t *pc, size_t n,
     }
 }
 
-void
-pcIndicesScalar(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx)
+COPRA_HOT void
+pcIndicesScalar(const uint64_t *pc, size_t n, uint64_t mask,
+                uint32_t *idx) noexcept
 {
     for (size_t k = 0; k < n; ++k)
         idx[k] = static_cast<uint32_t>((pc[k] >> 2) & mask);
@@ -137,7 +140,8 @@ active()
 }
 
 uint64_t
-historyFill(const uint8_t *taken, size_t n, uint64_t w, uint64_t *w_out)
+historyFill(const uint8_t *taken, size_t n, uint64_t w,
+            uint64_t *w_out) noexcept
 {
     for (size_t k = 0; k < n; ++k) {
         w_out[k] = w;

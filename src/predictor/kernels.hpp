@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/hot.hpp"
+
 namespace copra::predictor::kernels {
 
 /** Which kernel implementation family is in use. */
@@ -49,18 +51,23 @@ bool simdAvailable();
  */
 Tier activeTier();
 
-/** Index-phase kernels; one function pointer per index flavour. */
+/**
+ * Index-phase kernels; one function pointer per index flavour. The
+ * pointer types are `noexcept`: every kernel is hot-region code (the
+ * implementations carry COPRA_HOT roots in their TUs, since the
+ * call-graph pass cannot see through a function pointer).
+ */
 struct Kernels
 {
     /** idx[k] = ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask */
     void (*xorIndices)(const uint64_t *hist, const uint64_t *pc, size_t n,
                        uint64_t history_mask, uint64_t pht_mask,
-                       uint32_t *idx);
+                       uint32_t *idx) noexcept;
 
     /** idx[k] = hist[k] & history_mask & pht_mask */
     void (*maskIndices)(const uint64_t *hist, size_t n,
                         uint64_t history_mask, uint64_t pht_mask,
-                        uint32_t *idx);
+                        uint32_t *idx) noexcept;
 
     /**
      * idx[k] = ((((pc[k] >> 2) & select_mask) << history_bits) |
@@ -69,11 +76,11 @@ struct Kernels
     void (*concatIndices)(const uint64_t *hist, const uint64_t *pc,
                           size_t n, uint64_t history_mask,
                           unsigned history_bits, uint64_t select_mask,
-                          uint64_t pht_mask, uint32_t *idx);
+                          uint64_t pht_mask, uint32_t *idx) noexcept;
 
     /** idx[k] = (pc[k] >> 2) & mask */
     void (*pcIndices)(const uint64_t *pc, size_t n, uint64_t mask,
-                      uint32_t *idx);
+                      uint32_t *idx) noexcept;
 };
 
 /** The kernel table for the active tier. */
@@ -91,8 +98,8 @@ const Kernels &forTier(Tier tier);
  * and already runs at ~1 cycle per branch; masking happens downstream
  * in the index kernels, so the word may carry stale high bits.
  */
-uint64_t historyFill(const uint8_t *taken, size_t n, uint64_t w,
-                     uint64_t *w_out);
+COPRA_HOT uint64_t historyFill(const uint8_t *taken, size_t n, uint64_t w,
+                               uint64_t *w_out) noexcept;
 
 /**
  * Deferred kernel telemetry. The obs counters for batches/branches are
@@ -107,6 +114,10 @@ struct BatchCounters
     uint64_t batches = 0;
     uint64_t branches = 0;
     uint64_t simdBranches = 0;
+    /** Tier resolved at construction (cold): note() runs per batch in
+     *  the hot region, where the activeTier() magic static — a guarded
+     *  initialization, i.e. a potential lock — is off limits. */
+    bool simdTier = activeTier() == Tier::Simd;
 
     BatchCounters() = default;
     // Copying would double-count on flush; moves transfer the totals
@@ -127,11 +138,11 @@ struct BatchCounters
 
     /** Record one batch of @p n branches on the active tier. */
     void
-    note(size_t n)
+    note(size_t n) noexcept
     {
         batches += 1;
         branches += n;
-        if (activeTier() == Tier::Simd)
+        if (simdTier)
             simdBranches += n;
     }
 };

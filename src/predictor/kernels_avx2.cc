@@ -24,7 +24,7 @@ namespace {
  * 28 bits here) to idx[0..3].
  */
 inline void
-storeNarrowed(__m256i v, uint32_t *idx)
+storeNarrowed(__m256i v, uint32_t *idx) noexcept
 {
     const __m256i perm = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
     __m256i packed = _mm256_permutevar8x32_epi32(v, perm);
@@ -32,9 +32,9 @@ storeNarrowed(__m256i v, uint32_t *idx)
                      _mm256_castsi256_si128(packed));
 }
 
-void
+COPRA_HOT void
 xorIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
-               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx)
+               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx) noexcept
 {
     const __m256i hm = _mm256_set1_epi64x(static_cast<long long>(history_mask));
     const __m256i pm = _mm256_set1_epi64x(static_cast<long long>(pht_mask));
@@ -53,9 +53,9 @@ xorIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
             ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask);
 }
 
-void
+COPRA_HOT void
 maskIndicesAvx2(const uint64_t *hist, size_t n, uint64_t history_mask,
-                uint64_t pht_mask, uint32_t *idx)
+                uint64_t pht_mask, uint32_t *idx) noexcept
 {
     uint64_t mask = history_mask & pht_mask;
     const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
@@ -69,10 +69,10 @@ maskIndicesAvx2(const uint64_t *hist, size_t n, uint64_t history_mask,
         idx[k] = static_cast<uint32_t>(hist[k] & mask);
 }
 
-void
+COPRA_HOT void
 concatIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
                   uint64_t history_mask, unsigned history_bits,
-                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx)
+                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx) noexcept
 {
     const __m256i hm = _mm256_set1_epi64x(static_cast<long long>(history_mask));
     const __m256i sm = _mm256_set1_epi64x(static_cast<long long>(select_mask));
@@ -97,8 +97,8 @@ concatIndicesAvx2(const uint64_t *hist, const uint64_t *pc, size_t n,
     }
 }
 
-void
-pcIndicesAvx2(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx)
+COPRA_HOT void
+pcIndicesAvx2(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx) noexcept
 {
     const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
     size_t k = 0;

@@ -21,9 +21,9 @@ namespace copra::predictor::kernels {
 
 namespace {
 
-void
+COPRA_HOT void
 xorIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
-               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx)
+               uint64_t history_mask, uint64_t pht_mask, uint32_t *idx) noexcept
 {
     const uint64x2_t hm = vdupq_n_u64(history_mask);
     const uint64x2_t pm = vdupq_n_u64(pht_mask);
@@ -42,9 +42,9 @@ xorIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
             ((hist[k] & history_mask) ^ (pc[k] >> 2)) & pht_mask);
 }
 
-void
+COPRA_HOT void
 maskIndicesNeon(const uint64_t *hist, size_t n, uint64_t history_mask,
-                uint64_t pht_mask, uint32_t *idx)
+                uint64_t pht_mask, uint32_t *idx) noexcept
 {
     uint64_t mask = history_mask & pht_mask;
     const uint64x2_t m = vdupq_n_u64(mask);
@@ -58,10 +58,10 @@ maskIndicesNeon(const uint64_t *hist, size_t n, uint64_t history_mask,
         idx[k] = static_cast<uint32_t>(hist[k] & mask);
 }
 
-void
+COPRA_HOT void
 concatIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
                   uint64_t history_mask, unsigned history_bits,
-                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx)
+                  uint64_t select_mask, uint64_t pht_mask, uint32_t *idx) noexcept
 {
     const uint64x2_t hm = vdupq_n_u64(history_mask);
     const uint64x2_t sm = vdupq_n_u64(select_mask);
@@ -86,8 +86,8 @@ concatIndicesNeon(const uint64_t *hist, const uint64_t *pc, size_t n,
     }
 }
 
-void
-pcIndicesNeon(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx)
+COPRA_HOT void
+pcIndicesNeon(const uint64_t *pc, size_t n, uint64_t mask, uint32_t *idx) noexcept
 {
     const uint64x2_t m = vdupq_n_u64(mask);
     const int64x2_t shr2 = vdupq_n_s64(-2);

@@ -10,7 +10,7 @@ LoopPredictor::state(uint64_t pc) const
 }
 
 bool
-LoopPredictor::predict(const trace::BranchRecord &br)
+LoopPredictor::predict(const trace::BranchRecord &br) noexcept
 {
     const LoopState *st = table_.find(br.pc);
     if (st == nullptr || !st->seen)
@@ -21,7 +21,7 @@ LoopPredictor::predict(const trace::BranchRecord &br)
 }
 
 void
-LoopPredictor::update(const trace::BranchRecord &br, bool taken)
+LoopPredictor::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     LoopState &st = table_.access(br.pc);
     if (!st.seen) {

@@ -15,19 +15,19 @@ PathBased::PathBased(unsigned path_branches, unsigned bits_per_branch,
 }
 
 size_t
-PathBased::indexOf(uint64_t pc) const
+PathBased::indexOf(uint64_t pc) const noexcept
 {
     return (path_.value() ^ (pc >> 2)) & ((size_t(1) << phtBits_) - 1);
 }
 
 bool
-PathBased::predict(const trace::BranchRecord &br)
+PathBased::predict(const trace::BranchRecord &br) noexcept
 {
     return pht_[indexOf(br.pc)].taken();
 }
 
 void
-PathBased::update(const trace::BranchRecord &br, bool taken)
+PathBased::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     pht_[indexOf(br.pc)].update(taken);
     // Record the address actually followed: the taken target or the

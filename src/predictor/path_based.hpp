@@ -36,8 +36,8 @@ class PathBased : public Predictor
     PathBased(unsigned path_branches = 8, unsigned bits_per_branch = 2,
               unsigned pht_bits = 16);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -72,7 +72,7 @@ class PathBased : public Predictor
     COPRA_STATE_FIELDS(path_, pht_);
 
   private:
-    size_t indexOf(uint64_t pc) const;
+    size_t indexOf(uint64_t pc) const noexcept;
 
     unsigned pathBranches_;
     unsigned bitsPerBranch_;

@@ -33,7 +33,7 @@ Perceptron::Perceptron(const PerceptronConfig &config)
 Perceptron::~Perceptron() = default;
 
 size_t
-Perceptron::indexOf(unsigned table, uint64_t pc) const
+Perceptron::indexOf(unsigned table, uint64_t pc) const noexcept
 {
     uint64_t word = pc >> 2;
     uint64_t idx;
@@ -55,7 +55,7 @@ Perceptron::indexOf(unsigned table, uint64_t pc) const
 }
 
 int
-Perceptron::sumOf(uint64_t pc) const
+Perceptron::sumOf(uint64_t pc) const noexcept
 {
     int sum = 0;
     for (unsigned t = 0; t < config_.numTables; ++t)
@@ -64,13 +64,13 @@ Perceptron::sumOf(uint64_t pc) const
 }
 
 bool
-Perceptron::predict(const trace::BranchRecord &br)
+Perceptron::predict(const trace::BranchRecord &br) noexcept
 {
     return sumOf(br.pc) >= 0;
 }
 
 int
-Perceptron::clampWeight(int weight, bool taken) const
+Perceptron::clampWeight(int weight, bool taken) const noexcept
 {
     int next = weight + (taken ? 1 : -1);
     if (next > config_.weightMax)
@@ -81,7 +81,7 @@ Perceptron::clampWeight(int weight, bool taken) const
 }
 
 void
-Perceptron::update(const trace::BranchRecord &br, bool taken)
+Perceptron::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // Indices depend only on pc and history, both unchanged since
     // predict(), so recomputing here (instead of caching) keeps batch

@@ -56,8 +56,8 @@ class Perceptron : public Predictor
     explicit Perceptron(const PerceptronConfig &config);
     ~Perceptron() override;
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -125,11 +125,11 @@ class Perceptron : public Predictor
      * for the differential harness's wraparound planted bug
      * (check/differential.cc); real subclasses are not expected.
      */
-    virtual int clampWeight(int weight, bool taken) const;
+    virtual int clampWeight(int weight, bool taken) const noexcept;
 
   private:
-    int sumOf(uint64_t pc) const;
-    size_t indexOf(unsigned table, uint64_t pc) const;
+    int sumOf(uint64_t pc) const noexcept;
+    size_t indexOf(unsigned table, uint64_t pc) const noexcept;
 
     PerceptronConfig config_;
     std::vector<std::vector<int16_t>> tables_; //!< [table][index] weights

@@ -18,6 +18,7 @@
 
 #include "predictor/state.hpp"
 #include "trace/branch_record.hpp"
+#include "util/hot.hpp"
 #include "util/logging.hpp"
 
 namespace copra::predictor {
@@ -42,6 +43,13 @@ struct SoaBatch
  * Contract: the driver calls predict() then update() exactly once per
  * dynamic conditional branch, in trace order. predict() must not examine
  * the record's `taken` field — the outcome is delivered via update().
+ *
+ * The five prediction-path virtuals (predict, update, observe, and the
+ * two batch entry points) are `noexcept`: they sit inside the
+ * COPRA_HOT region, which is exception-free, allocation-free, and
+ * lock-free per branch after warm-up (DESIGN.md §15). Contract
+ * violations still die loudly through the [[noreturn]] panic/fatal
+ * frontier — that is termination, not unwinding.
  */
 class Predictor
 {
@@ -55,7 +63,7 @@ class Predictor
      *           pc and target fields only.
      * @return true for predicted taken.
      */
-    virtual bool predict(const trace::BranchRecord &br) = 0;
+    virtual bool predict(const trace::BranchRecord &br) noexcept = 0;
 
     /**
      * Train on the resolved outcome of the branch most recently passed to
@@ -64,7 +72,8 @@ class Predictor
      * @param br The same record passed to predict().
      * @param taken The actual outcome.
      */
-    virtual void update(const trace::BranchRecord &br, bool taken) = 0;
+    virtual void update(const trace::BranchRecord &br,
+                        bool taken) noexcept = 0;
 
     /**
      * Observe a non-conditional control transfer (jump, call, return).
@@ -73,7 +82,7 @@ class Predictor
      * iteration-aware predictors (e.g. the selective-history predictor)
      * need them for bookkeeping.
      */
-    virtual void observe(const trace::BranchRecord &) {}
+    virtual void observe(const trace::BranchRecord &) noexcept {}
 
     /**
      * Predict-and-train a run of consecutive conditional branches in
@@ -89,9 +98,9 @@ class Predictor
      *                    record: was the prediction correct?
      * @return Number of correct predictions in the batch.
      */
-    virtual uint64_t
+    COPRA_HOT virtual uint64_t
     predictUpdateBatch(std::span<const trace::BranchRecord> batch,
-                       uint8_t *correct_out)
+                       uint8_t *correct_out) noexcept
     {
         uint64_t n_correct = 0;
         size_t i = 0;
@@ -121,8 +130,8 @@ class Predictor
      *                    record: was the prediction correct?
      * @return Number of correct predictions in the batch.
      */
-    virtual uint64_t
-    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+    COPRA_HOT virtual uint64_t
+    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept
     {
         return predictUpdateBatch({batch.records, batch.count},
                                   correct_out);

@@ -46,13 +46,13 @@ StaticPhtTwoLevel::profile(const trace::Trace &trace,
 }
 
 bool
-StaticPhtTwoLevel::predict(const trace::BranchRecord &br)
+StaticPhtTwoLevel::predict(const trace::BranchRecord &br) noexcept
 {
     return directions_[indexer_.phtIndex(br.pc)] != 0;
 }
 
 void
-StaticPhtTwoLevel::update(const trace::BranchRecord &br, bool taken)
+StaticPhtTwoLevel::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     indexer_.update(br, taken);
 }

@@ -41,8 +41,8 @@ class StaticPhtTwoLevel : public Predictor
     static StaticPhtTwoLevel profile(const trace::Trace &trace,
                                      const TwoLevelConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 

@@ -19,8 +19,8 @@ namespace copra::predictor {
 class AlwaysTaken : public Predictor
 {
   public:
-    bool predict(const trace::BranchRecord &) override { return true; }
-    void update(const trace::BranchRecord &, bool) override {}
+    bool predict(const trace::BranchRecord &) noexcept override { return true; }
+    void update(const trace::BranchRecord &, bool) noexcept override {}
     void reset() override {}
     std::string name() const override { return "always-taken"; }
 
@@ -34,8 +34,8 @@ class AlwaysTaken : public Predictor
 class AlwaysNotTaken : public Predictor
 {
   public:
-    bool predict(const trace::BranchRecord &) override { return false; }
-    void update(const trace::BranchRecord &, bool) override {}
+    bool predict(const trace::BranchRecord &) noexcept override { return false; }
+    void update(const trace::BranchRecord &, bool) noexcept override {}
     void reset() override {}
     std::string name() const override { return "always-not-taken"; }
 
@@ -53,11 +53,11 @@ class Btfnt : public Predictor
 {
   public:
     bool
-    predict(const trace::BranchRecord &br) override
+    predict(const trace::BranchRecord &br) noexcept override
     {
         return br.isBackward();
     }
-    void update(const trace::BranchRecord &, bool) override {}
+    void update(const trace::BranchRecord &, bool) noexcept override {}
     void reset() override {}
     std::string name() const override { return "btfnt"; }
 

@@ -53,7 +53,7 @@ Tage::Tage(const TageConfig &config) : config_(config)
 Tage::~Tage() = default;
 
 size_t
-Tage::indexOf(unsigned table, uint64_t pc) const
+Tage::indexOf(unsigned table, uint64_t pc) const noexcept
 {
     uint64_t word = pc >> 2;
     uint64_t folded = history_.fold(lengths_[table], config_.tableBits);
@@ -64,7 +64,7 @@ Tage::indexOf(unsigned table, uint64_t pc) const
 }
 
 uint16_t
-Tage::tagOf(unsigned table, uint64_t pc) const
+Tage::tagOf(unsigned table, uint64_t pc) const noexcept
 {
     uint64_t word = pc >> 2;
     uint64_t f1 = history_.fold(lengths_[table], config_.tagBits);
@@ -79,13 +79,13 @@ Tage::tagOf(unsigned table, uint64_t pc) const
 }
 
 bool
-Tage::counterTaken(uint8_t ctr, unsigned bits) const
+Tage::counterTaken(uint8_t ctr, unsigned bits) const noexcept
 {
     return ctr >= (uint8_t(1) << (bits - 1));
 }
 
 void
-Tage::bumpCounter(uint8_t &ctr, unsigned bits, bool up)
+Tage::bumpCounter(uint8_t &ctr, unsigned bits, bool up) noexcept
 {
     uint8_t max = static_cast<uint8_t>((1u << bits) - 1);
     if (up && ctr < max)
@@ -95,7 +95,7 @@ Tage::bumpCounter(uint8_t &ctr, unsigned bits, bool up)
 }
 
 Tage::Lookup
-Tage::lookup(uint64_t pc) const
+Tage::lookup(uint64_t pc) const noexcept
 {
     Lookup out;
     size_t base_idx = (pc >> 2) & ((size_t(1) << config_.baseBits) - 1);
@@ -121,7 +121,7 @@ Tage::lookup(uint64_t pc) const
 }
 
 bool
-Tage::predict(const trace::BranchRecord &br)
+Tage::predict(const trace::BranchRecord &br) noexcept
 {
     Lookup l = lookup(br.pc);
     if (l.provider >= 0)
@@ -132,7 +132,7 @@ Tage::predict(const trace::BranchRecord &br)
 }
 
 void
-Tage::allocateEntry(Entry &slot, uint16_t tag, bool taken)
+Tage::allocateEntry(Entry &slot, uint16_t tag, bool taken) noexcept
 {
     slot.tag = tag;
     // Weakly toward the observed outcome: the weakest taken value is
@@ -143,7 +143,7 @@ Tage::allocateEntry(Entry &slot, uint16_t tag, bool taken)
 }
 
 void
-Tage::update(const trace::BranchRecord &br, bool taken)
+Tage::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // Recompute the provider from pre-update state rather than caching
     // it in predict(): batch and scalar paths then trivially agree, and

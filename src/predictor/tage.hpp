@@ -68,8 +68,8 @@ class Tage : public Predictor
     explicit Tage(const TageConfig &config);
     ~Tage() override;
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
     void reset() override;
     std::string name() const override;
 
@@ -149,7 +149,7 @@ class Tage : public Predictor
      * differential harness's allocation-path planted bug
      * (check/differential.cc); real subclasses are not expected.
      */
-    virtual void allocateEntry(Entry &slot, uint16_t tag, bool taken);
+    virtual void allocateEntry(Entry &slot, uint16_t tag, bool taken) noexcept;
 
   private:
     /** Provider/alternate selection for one pc under current history. */
@@ -161,11 +161,11 @@ class Tage : public Predictor
         bool altPrediction = false;
     };
 
-    Lookup lookup(uint64_t pc) const;
-    size_t indexOf(unsigned table, uint64_t pc) const;
-    uint16_t tagOf(unsigned table, uint64_t pc) const;
-    bool counterTaken(uint8_t ctr, unsigned bits) const;
-    static void bumpCounter(uint8_t &ctr, unsigned bits, bool up);
+    Lookup lookup(uint64_t pc) const noexcept;
+    size_t indexOf(unsigned table, uint64_t pc) const noexcept;
+    uint16_t tagOf(unsigned table, uint64_t pc) const noexcept;
+    bool counterTaken(uint8_t ctr, unsigned bits) const noexcept;
+    static void bumpCounter(uint8_t &ctr, unsigned bits, bool up) noexcept;
 
     TageConfig config_;
     std::vector<uint8_t> base_;              //!< bimodal counters (2-bit)

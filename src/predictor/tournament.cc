@@ -22,19 +22,19 @@ Tournament::Tournament(const TournamentConfig &config)
 Tournament::~Tournament() = default;
 
 size_t
-Tournament::chooserIndex(uint64_t pc) const
+Tournament::chooserIndex(uint64_t pc) const noexcept
 {
     return (pc >> 2) & ((size_t(1) << config_.chooserBits) - 1);
 }
 
 bool
-Tournament::btbHit(uint64_t pc) const
+Tournament::btbHit(uint64_t pc) const noexcept
 {
     return btb_.find(pc) != nullptr;
 }
 
 bool
-Tournament::predict(const trace::BranchRecord &br)
+Tournament::predict(const trace::BranchRecord &br) noexcept
 {
     bool global_pred = global_.predict(br);
     bool local_pred = local_.predict(br);
@@ -55,7 +55,7 @@ Tournament::predict(const trace::BranchRecord &br)
 }
 
 void
-Tournament::update(const trace::BranchRecord &br, bool taken)
+Tournament::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     // Component predictions are recomputed from pre-update state
     // (TwoLevel::predict is side-effect free) rather than cached in
@@ -81,7 +81,7 @@ Tournament::update(const trace::BranchRecord &br, bool taken)
 }
 
 void
-Tournament::observe(const trace::BranchRecord &br)
+Tournament::observe(const trace::BranchRecord &br) noexcept
 {
     using trace::BranchKind;
     switch (br.kind) {

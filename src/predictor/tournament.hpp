@@ -66,11 +66,11 @@ class Tournament : public Predictor
     Tournament(Tournament &&) = default;
     ~Tournament() override;
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
 
     /** Tracks calls/returns for the RAS and jump targets for the BTB. */
-    void observe(const trace::BranchRecord &br) override;
+    void observe(const trace::BranchRecord &br) noexcept override;
 
     void reset() override;
     std::string name() const override;
@@ -141,10 +141,10 @@ class Tournament : public Predictor
      * differential harness's miss-model planted bug
      * (check/differential.cc); real subclasses are not expected.
      */
-    virtual bool btbHit(uint64_t pc) const;
+    virtual bool btbHit(uint64_t pc) const noexcept;
 
   private:
-    size_t chooserIndex(uint64_t pc) const;
+    size_t chooserIndex(uint64_t pc) const noexcept;
 
     TournamentConfig config_;
     TwoLevel global_; //!< gshare component

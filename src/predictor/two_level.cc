@@ -96,10 +96,16 @@ TwoLevel::TwoLevel(const TwoLevelConfig &config)
         ? 1 : (size_t(1) << config.bhtBits);
     histories_.assign(n_hist, 0);
     pht_.assign(size_t(1) << config.phtBits, counterInit_);
+    // The batch path is hot-region code (DESIGN.md §15): resolve the
+    // kernel dispatch once (activeTier's guarded init is a lock) and
+    // pre-size the tile scratch so the loop never touches the heap.
+    kernels_ = &kernels::active();
+    histScratch_.resize(kKernelTile);
+    idxScratch_.resize(kKernelTile);
 }
 
 uint64_t &
-TwoLevel::historyFor(uint64_t pc)
+TwoLevel::historyFor(uint64_t pc) noexcept
 {
     if (config_.scope == TwoLevelConfig::Scope::Global)
         return histories_[0];
@@ -108,13 +114,13 @@ TwoLevel::historyFor(uint64_t pc)
 }
 
 uint64_t
-TwoLevel::historyFor(uint64_t pc) const
+TwoLevel::historyFor(uint64_t pc) const noexcept
 {
     return const_cast<TwoLevel *>(this)->historyFor(pc);
 }
 
 size_t
-TwoLevel::phtIndex(uint64_t pc) const
+TwoLevel::phtIndex(uint64_t pc) const noexcept
 {
     uint64_t hist = historyFor(pc) & historyMask_;
     uint64_t pc_bits = pc >> 2;
@@ -134,13 +140,13 @@ TwoLevel::phtIndex(uint64_t pc) const
 }
 
 bool
-TwoLevel::predict(const trace::BranchRecord &br)
+TwoLevel::predict(const trace::BranchRecord &br) noexcept
 {
     return pht_[phtIndex(br.pc)] > counterInit_;
 }
 
 void
-TwoLevel::update(const trace::BranchRecord &br, bool taken)
+TwoLevel::update(const trace::BranchRecord &br, bool taken) noexcept
 {
     uint8_t &counter = pht_[phtIndex(br.pc)];
     if (taken) {
@@ -156,7 +162,7 @@ TwoLevel::update(const trace::BranchRecord &br, bool taken)
 
 uint64_t
 TwoLevel::predictUpdateBatch(std::span<const trace::BranchRecord> batch,
-                             uint8_t *correct_out)
+                             uint8_t *correct_out) noexcept
 {
     uint64_t n_correct = 0;
     size_t i = 0;
@@ -184,24 +190,18 @@ TwoLevel::predictUpdateBatch(std::span<const trace::BranchRecord> batch,
 }
 
 uint64_t
-TwoLevel::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out)
+TwoLevel::predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept
 {
     if (batch.count == 0)
         return 0;
     kernelCounts_.note(batch.count);
-
-    size_t tile = std::min(kKernelTile, batch.count);
-    if (histScratch_.size() < tile) {
-        histScratch_.resize(tile);
-        idxScratch_.resize(tile);
-    }
     return config_.scope == TwoLevelConfig::Scope::Global
         ? runGlobalSoa(batch, correct_out)
         : runPerAddressSoa(batch, correct_out);
 }
 
 uint64_t
-TwoLevel::runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out)
+TwoLevel::runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept
 {
     // The global history register evolves only from the outcomes, so
     // per-branch history words — and hence every PHT index — are known
@@ -209,7 +209,7 @@ TwoLevel::runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out)
     // unmasked; masking distributes over the shift chain, so masking
     // once inside the index kernels is equivalent to the per-step
     // masking the scalar path performs.
-    const kernels::Kernels &k = kernels::active();
+    const kernels::Kernels &k = *kernels_;
     const uint64_t select_mask =
         (uint64_t(1) << config_.pcSelectBits) - 1;
     uint64_t w = histories_[0];
@@ -260,13 +260,13 @@ TwoLevel::runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out)
 }
 
 uint64_t
-TwoLevel::runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out)
+TwoLevel::runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept
 {
     // Per-address histories serialize on the BHT row, so only the row
     // lookup vectorizes; the PHT index still needs the just-updated
     // row history. Hoisting the index flavour out of the loop is the
     // remaining win over the record-based batch path.
-    const kernels::Kernels &k = kernels::active();
+    const kernels::Kernels &k = *kernels_;
     const uint64_t select_mask =
         (uint64_t(1) << config_.pcSelectBits) - 1;
     const uint64_t bht_mask = (uint64_t(1) << config_.bhtBits) - 1;

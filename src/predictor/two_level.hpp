@@ -96,13 +96,13 @@ class TwoLevel : public Predictor
   public:
     explicit TwoLevel(const TwoLevelConfig &config);
 
-    bool predict(const trace::BranchRecord &br) override;
-    void update(const trace::BranchRecord &br, bool taken) override;
+    bool predict(const trace::BranchRecord &br) noexcept override;
+    void update(const trace::BranchRecord &br, bool taken) noexcept override;
 
     /** Devirtualized batch loop (same results as predict + update). */
     uint64_t
     predictUpdateBatch(std::span<const trace::BranchRecord> batch,
-                       uint8_t *correct_out) override;
+                       uint8_t *correct_out) noexcept override;
 
     /**
      * Column-kernel batch path (same results as predict + update):
@@ -111,7 +111,7 @@ class TwoLevel : public Predictor
      * the saturating-counter training loop stays serial.
      */
     uint64_t
-    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) override;
+    predictUpdateSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept override;
 
     void reset() override;
     std::string name() const override;
@@ -119,7 +119,7 @@ class TwoLevel : public Predictor
     const TwoLevelConfig &config() const { return config_; }
 
     /** PHT index used for @p pc under the current history (for tests). */
-    size_t phtIndex(uint64_t pc) const;
+    size_t phtIndex(uint64_t pc) const noexcept;
 
     // State contract (DESIGN.md §14): historyBits per first-level
     // register plus counterBits per second-level counter.
@@ -151,18 +151,19 @@ class TwoLevel : public Predictor
     COPRA_CONFIG_FIELDS(config_, historyMask_, phtMask_, counterMax_,
                         counterInit_);
     COPRA_STATE_FIELDS(histories_, pht_);
-    COPRA_TRANSIENT_FIELDS(histScratch_, idxScratch_, kernelCounts_);
+    COPRA_TRANSIENT_FIELDS(histScratch_, idxScratch_, kernelCounts_,
+                           kernels_);
 
   private:
     /** Records per kernel tile; bounds the index scratch to ~24 KiB so
      * it stays L1-resident for any batch length. */
     static constexpr size_t kKernelTile = 2048;
 
-    uint64_t &historyFor(uint64_t pc);
-    uint64_t historyFor(uint64_t pc) const;
+    uint64_t &historyFor(uint64_t pc) noexcept;
+    uint64_t historyFor(uint64_t pc) const noexcept;
 
-    uint64_t runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out);
-    uint64_t runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out);
+    uint64_t runGlobalSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept;
+    uint64_t runPerAddressSoa(const SoaBatch &batch, uint8_t *correct_out) noexcept;
 
     TwoLevelConfig config_;
     uint64_t historyMask_;
@@ -174,6 +175,10 @@ class TwoLevel : public Predictor
     std::vector<uint64_t> histScratch_; // kernel tile: history words
     std::vector<uint32_t> idxScratch_;  // kernel tile: table indices
     kernels::BatchCounters kernelCounts_; // flushes to obs on destroy
+    /** Dispatch table resolved once at construction: the tier is fixed
+     * per process, and activeTier()'s guarded initialization is off
+     * limits inside the hot region (hot-lock). */
+    const kernels::Kernels *kernels_ = nullptr;
 };
 
 } // namespace copra::predictor

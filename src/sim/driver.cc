@@ -1,5 +1,6 @@
 #include "sim/driver.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "obs/instruments.hpp"
@@ -10,6 +11,71 @@
 #include "util/thread_pool.hpp"
 
 namespace copra::sim {
+
+LoopTotals
+runLoop(const trace::SoABlocks &soa,
+        std::span<const trace::BranchRecord> records,
+        predictor::Predictor &pred, uint8_t *correct_scratch,
+        uint64_t *packed, BranchTally *tallies) noexcept
+{
+    // Ledger path: accumulate per-branch tallies addressed by the
+    // trace's dense static index (built once with the SoA image — no
+    // hashing per branch). The hot loop does ONE u64 add per branch
+    // into a packed execs/taken/correct word (21 bits each, flushed to
+    // the wide tallies well before any field can saturate), keeping the
+    // randomly-addressed array at 8 bytes per static branch — L1-sized
+    // for every benchmark. Folding is additive, so the result is
+    // identical to calling Ledger::record per branch.
+    constexpr uint64_t kFieldMask = (uint64_t(1) << 21) - 1;
+    constexpr uint64_t kFlushEvery = uint64_t(1) << 20;
+    const size_t staticCount = packed ? soa.staticCount() : 0;
+    uint64_t since_flush = 0;
+    auto flush = [&]() noexcept {
+        for (size_t id = 0; id < staticCount; ++id) {
+            uint64_t p = packed[id];
+            if (p == 0)
+                continue;
+            packed[id] = 0;
+            BranchTally &t = tallies[id];
+            t.execs += p & kFieldMask;
+            t.taken += (p >> 21) & kFieldMask;
+            t.correct += (p >> 42) & kFieldMask;
+        }
+        since_flush = 0;
+    };
+
+    LoopTotals totals;
+    size_t pos = 0;
+    for (const trace::SoABlocks::Segment &seg : soa.conditionalSegments()) {
+        for (; pos < seg.begin; ++pos)
+            pred.observe(records[pos]);
+        predictor::SoaBatch batch{soa.pc() + seg.begin,
+                                  soa.taken() + seg.begin,
+                                  records.data() + seg.begin, seg.count};
+        if (packed) {
+            totals.correct +=
+                pred.predictUpdateSoa(batch, correct_scratch);
+            const uint32_t *sidx = soa.staticIndex() + seg.begin;
+            const uint8_t *taken = batch.taken;
+            for (size_t k = 0; k < seg.count; ++k) {
+                packed[sidx[k]] += 1 | (uint64_t(taken[k]) << 21) |
+                    (uint64_t(correct_scratch[k]) << 42);
+            }
+            since_flush += seg.count;
+            if (since_flush >= kFlushEvery)
+                flush();
+        } else {
+            totals.correct += pred.predictUpdateSoa(batch, nullptr);
+        }
+        totals.branches += seg.count;
+        pos = seg.begin + seg.count;
+    }
+    for (; pos < records.size(); ++pos)
+        pred.observe(records[pos]);
+    if (packed)
+        flush();
+    return totals;
+}
 
 RunResult
 run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
@@ -24,67 +90,29 @@ run(const trace::Trace &trace, predictor::Predictor &pred, Ledger *ledger)
     // mirror — to the record-based batch default, which reproduces the
     // classic predict/update call sequence exactly. Non-conditional
     // records between runs are delivered to observe() in trace order.
+    //
+    // Every buffer the loop touches is allocated here, before runLoop:
+    // the loop itself is the COPRA_HOT region and performs no heap
+    // allocation of its own (`copra_check --hot-gates` enforces this).
     const trace::SoABlocks &soa = trace.soa();
     std::span<const trace::BranchRecord> records = trace.records();
-    // Ledger path: accumulate per-branch tallies addressed by the
-    // trace's dense static index (built once with the SoA image — no
-    // hashing per branch). The hot loop does ONE u64 add per branch
-    // into a packed execs/taken/correct word (21 bits each, flushed to
-    // the wide tallies well before any field can saturate), keeping the
-    // randomly-addressed array at 8 bytes per static branch — L1-sized
-    // for every benchmark. Folding is additive, so the result is
-    // identical to calling Ledger::record per branch.
-    constexpr uint64_t kFieldMask = (uint64_t(1) << 21) - 1;
-    constexpr uint64_t kFlushEvery = uint64_t(1) << 20;
     std::vector<BranchTally> tallies(ledger ? soa.staticCount() : 0);
     std::vector<uint64_t> packed(tallies.size(), 0);
-    uint64_t since_flush = 0;
-    auto flush = [&] {
-        for (size_t id = 0; id < packed.size(); ++id) {
-            uint64_t p = packed[id];
-            if (p == 0)
-                continue;
-            packed[id] = 0;
-            BranchTally &t = tallies[id];
-            t.execs += p & kFieldMask;
-            t.taken += (p >> 21) & kFieldMask;
-            t.correct += (p >> 42) & kFieldMask;
-        }
-        since_flush = 0;
-    };
-    std::vector<uint8_t> correct;
+    size_t maxSegment = 0;
+    if (ledger)
+        for (const trace::SoABlocks::Segment &seg :
+             soa.conditionalSegments())
+            maxSegment = std::max(maxSegment, seg.count);
+    std::vector<uint8_t> correct(maxSegment);
 
-    size_t pos = 0;
-    for (const trace::SoABlocks::Segment &seg : soa.conditionalSegments()) {
-        for (; pos < seg.begin; ++pos)
-            pred.observe(records[pos]);
-        predictor::SoaBatch batch{soa.pc() + seg.begin,
-                                  soa.taken() + seg.begin,
-                                  records.data() + seg.begin, seg.count};
-        if (ledger) {
-            if (correct.size() < seg.count)
-                correct.resize(seg.count);
-            result.correct += pred.predictUpdateSoa(batch, correct.data());
-            const uint32_t *sidx = soa.staticIndex() + seg.begin;
-            const uint8_t *taken = batch.taken;
-            for (size_t k = 0; k < seg.count; ++k) {
-                packed[sidx[k]] += 1 | (uint64_t(taken[k]) << 21) |
-                    (uint64_t(correct[k]) << 42);
-            }
-            since_flush += seg.count;
-            if (since_flush >= kFlushEvery)
-                flush();
-        } else {
-            result.correct += pred.predictUpdateSoa(batch, nullptr);
-        }
-        result.dynamicBranches += seg.count;
-        pos = seg.begin + seg.count;
-    }
-    for (; pos < records.size(); ++pos)
-        pred.observe(records[pos]);
+    LoopTotals totals =
+        runLoop(soa, records, pred, correct.data(),
+                ledger ? packed.data() : nullptr,
+                ledger ? tallies.data() : nullptr);
+    result.correct = totals.correct;
+    result.dynamicBranches = totals.branches;
 
     if (ledger) {
-        flush();
         std::span<const uint64_t> pcs = soa.staticPcs();
         for (size_t id = 0; id < tallies.size(); ++id)
             if (tallies[id].execs != 0)

@@ -18,12 +18,15 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "predictor/predictor.hpp"
 #include "sim/ledger.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_soa.hpp"
+#include "util/hot.hpp"
 #include "util/thread_pool.hpp"
 
 namespace copra::sim {
@@ -65,6 +68,35 @@ struct RunResult
  */
 RunResult run(const trace::Trace &trace, predictor::Predictor &pred,
               Ledger *ledger = nullptr);
+
+/** Totals produced by one runLoop pass. */
+struct LoopTotals
+{
+    uint64_t correct = 0;
+    uint64_t branches = 0;
+};
+
+/**
+ * The steady-state inner loop of run(): stream every conditional
+ * segment of a prebuilt SoA image through the predictor's batch entry
+ * point, delivering non-conditional records to observe() in trace
+ * order, and — when @p packed is non-null — fold one packed
+ * execs/taken/correct word per branch into the ledger accumulators.
+ *
+ * This is a COPRA_HOT root: between the buffers being handed in and
+ * the totals coming back it allocates nothing, takes no locks, and
+ * cannot throw (DESIGN.md §15). All buffers are caller-owned: @p
+ * correct_scratch must hold the largest segment's count when @p packed
+ * is used (it always may be written), and @p packed / @p tallies must
+ * hold soa.staticCount() entries or be null together. `copra_check
+ * --hot-gates` replays this exact function under the counting
+ * allocator to prove the claim at runtime.
+ */
+COPRA_HOT LoopTotals
+runLoop(const trace::SoABlocks &soa,
+        std::span<const trace::BranchRecord> records,
+        predictor::Predictor &pred, uint8_t *correct_scratch,
+        uint64_t *packed, BranchTally *tallies) noexcept;
 
 /**
  * Run several predictors over the same trace in a single pass, so every

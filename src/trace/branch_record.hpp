@@ -41,7 +41,7 @@ struct BranchRecord
      * True when the taken target precedes the branch: the loop-closing
      * shape used by the paper's backward-branch instance tagging (§3.2).
      */
-    bool isBackward() const { return target < pc; }
+    bool isBackward() const noexcept { return target < pc; }
 
     bool
     operator==(const BranchRecord &other) const

@@ -72,7 +72,7 @@ class SoABlocks
     uint64_t conditionalCount() const { return conditionals_; }
 
     /** Branch addresses, one per record. */
-    const uint64_t *pc() const { return pc_.data(); }
+    const uint64_t *pc() const noexcept { return pc_.data(); }
 
     /** Taken-path targets, one per record. */
     const uint64_t *target() const { return target_.data(); }
@@ -81,7 +81,7 @@ class SoABlocks
     const uint8_t *kind() const { return kind_.data(); }
 
     /** Outcomes (0/1), one byte per record. */
-    const uint8_t *taken() const { return taken_.data(); }
+    const uint8_t *taken() const noexcept { return taken_.data(); }
 
     /**
      * Dense static-branch index, one entry per record: records with the
@@ -91,16 +91,16 @@ class SoABlocks
      * indexed add — the pc → index hashing happens once per trace,
      * here, and is reused by every predictor pass.
      */
-    const uint32_t *staticIndex() const { return staticIndex_.data(); }
+    const uint32_t *staticIndex() const noexcept { return staticIndex_.data(); }
 
     /** Distinct branch addresses; position = dense static index. */
     std::span<const uint64_t> staticPcs() const { return staticPcs_; }
 
     /** Number of distinct branch addresses in the trace. */
-    size_t staticCount() const { return staticPcs_.size(); }
+    size_t staticCount() const noexcept { return staticPcs_.size(); }
 
     /** Maximal conditional runs, in trace order. */
-    std::span<const Segment> conditionalSegments() const
+    std::span<const Segment> conditionalSegments() const noexcept
     {
         return condSegments_;
     }

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The COPRA_HOT hot-path root annotation.
+ *
+ * Functions marked COPRA_HOT are the roots of the steady-state
+ * prediction path: copra_lint's call-graph pass (DESIGN.md §15)
+ * computes everything reachable from them through resolved calls and
+ * virtual fan-out, and enforces the hot-path discipline rules
+ * (hot-alloc / hot-lock / hot-throw / hot-io) over that region. The
+ * runtime twin, `copra_check --hot-gates`, replays traces through the
+ * same region and asserts zero heap allocations and zero lock
+ * acquisitions per branch after warm-up.
+ *
+ * A marked function must also be declared `noexcept` — the analyzer
+ * rejects a COPRA_HOT declaration without it.
+ *
+ * On GCC/Clang the macro additionally expands to the `hot` function
+ * attribute, which biases block placement and inlining toward these
+ * functions; elsewhere it is annotation-only.
+ */
+
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define COPRA_HOT __attribute__((hot))
+#else
+#define COPRA_HOT
+#endif

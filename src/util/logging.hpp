@@ -19,10 +19,16 @@ namespace copra {
  * itself, never for user errors.
  */
 [[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    panic(msg.c_str());
 }
 
 /**
@@ -30,27 +36,62 @@ panic(const std::string &msg)
  * configuration, invalid arguments), not for internal bugs.
  */
 [[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+[[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    fatal(msg.c_str());
 }
 
 /** Non-fatal warning about questionable but survivable conditions. */
 inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    warn(msg.c_str());
 }
 
 /** Informative status message. */
 inline void
-inform(const std::string &msg)
+inform(const char *msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    std::fprintf(stderr, "info: %s\n", msg);
 }
 
-/** panic() unless a condition holds. */
+inline void
+inform(const std::string &msg)
+{
+    inform(msg.c_str());
+}
+
+/**
+ * panic() unless a condition holds.
+ *
+ * The const char* overload matters: assertion checks sit on the hot
+ * prediction path (e.g. FoldedHistory::fold runs two per call), and a
+ * std::string parameter would heap-allocate the message at every call
+ * site even when the condition is false — a per-branch allocation the
+ * `copra_check --hot-gates` steady-state probe flags. Literal messages
+ * must never touch an allocator; only call sites that actually format
+ * pay for a std::string.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
+
 inline void
 panicIf(bool cond, const std::string &msg)
 {
@@ -59,6 +100,13 @@ panicIf(bool cond, const std::string &msg)
 }
 
 /** fatal() unless a condition holds. */
+inline void
+fatalIf(bool cond, const char *msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
 inline void
 fatalIf(bool cond, const std::string &msg)
 {

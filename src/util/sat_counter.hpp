@@ -36,7 +36,7 @@ class SatCounter
     }
 
     /** Current raw counter value. */
-    uint8_t value() const { return value_; }
+    uint8_t value() const noexcept { return value_; }
 
     /** Largest representable value. */
     uint8_t maxValue() const { return max_; }
@@ -45,14 +45,14 @@ class SatCounter
     unsigned bits() const { return bits_; }
 
     /** Prediction encoded by the counter: true iff the MSB is set. */
-    bool taken() const { return value_ >= (max_ + 1u) / 2; }
+    bool taken() const noexcept { return value_ >= (max_ + 1u) / 2; }
 
     /** True when the counter is at either saturation point. */
     bool saturated() const { return value_ == 0 || value_ == max_; }
 
     /** Increment, saturating at the maximum. */
     void
-    increment()
+    increment() noexcept
     {
         if (value_ < max_)
             ++value_;
@@ -60,7 +60,7 @@ class SatCounter
 
     /** Decrement, saturating at zero. */
     void
-    decrement()
+    decrement() noexcept
     {
         if (value_ > 0)
             --value_;
@@ -68,7 +68,7 @@ class SatCounter
 
     /** Move the counter toward an observed outcome. */
     void
-    update(bool outcome)
+    update(bool outcome) noexcept
     {
         if (outcome)
             increment();
@@ -105,11 +105,11 @@ struct Counter2
     uint8_t v = 1;
 
     /** Prediction: taken iff in one of the two taken states. */
-    bool taken() const { return v >= 2; }
+    bool taken() const noexcept { return v >= 2; }
 
     /** Move toward an observed outcome, saturating at [0, 3]. */
     void
-    update(bool outcome)
+    update(bool outcome) noexcept
     {
         if (outcome) {
             if (v < 3)

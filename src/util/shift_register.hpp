@@ -35,14 +35,14 @@ class HistoryRegister
     unsigned length() const { return length_; }
 
     /** Current history pattern; newest outcome in bit 0. */
-    uint64_t value() const { return bits_; }
+    uint64_t value() const noexcept { return bits_; }
 
     /** Mask covering the configured length. */
     uint64_t mask() const { return mask_; }
 
     /** Shift in a new outcome (true = taken). */
     void
-    push(bool taken)
+    push(bool taken) noexcept
     {
         bits_ = ((bits_ << 1) | (taken ? 1u : 0u)) & mask_;
     }
@@ -94,11 +94,11 @@ class PathRegister
     unsigned width() const { return branches_ * bitsPer_; }
 
     /** Current path pattern. */
-    uint64_t value() const { return value_; }
+    uint64_t value() const noexcept { return value_; }
 
     /** Record the address of a newly executed branch. */
     void
-    push(uint64_t pc)
+    push(uint64_t pc) noexcept
     {
         // Instruction addresses are word aligned; skip the low two bits so
         // the retained bits actually vary across branches.

@@ -14,12 +14,32 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.hpp"
 
 namespace copra::util {
+
+namespace detail {
+/** Process-wide Mutex acquisition tally (relaxed; monotonic). */
+// copra-lint: sanctioned-global(hot-gate lock probe: copra_check --hot-gates diffs this across steady-state replays; never read by result-producing code)
+inline std::atomic<uint64_t> g_lockAcquisitions{0};
+} // namespace detail
+
+/**
+ * Mutex acquisitions since process start. The runtime half of the
+ * hot-lock lint rule (DESIGN.md §15): `copra_check --hot-gates` diffs
+ * this counter across a steady-state replay and fails if any lock was
+ * taken on the prediction path.
+ */
+inline uint64_t
+lockAcquisitionCount() noexcept
+{
+    return detail::g_lockAcquisitions.load(std::memory_order_relaxed);
+}
 
 /** A std::mutex the thread-safety analysis can see. */
 class COPRA_CAPABILITY("mutex") Mutex
@@ -32,6 +52,8 @@ class COPRA_CAPABILITY("mutex") Mutex
     void
     lock() COPRA_ACQUIRE()
     {
+        detail::g_lockAcquisitions.fetch_add(1,
+                                             std::memory_order_relaxed);
         mutex_.lock();
     }
 

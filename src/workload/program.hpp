@@ -187,7 +187,7 @@ class IfStmt : public Stmt
     }
 
     void exec(ExecContext &ctx) const override;
-    uint64_t pc() const { return pc_; }
+    uint64_t pc() const noexcept { return pc_; }
     const Pred &pred() const { return pred_; }
 
   private:

@@ -22,8 +22,8 @@ namespace {
 class CountingProbe : public Predictor
 {
   public:
-    bool predict(const trace::BranchRecord &) override { return true; }
-    void update(const trace::BranchRecord &, bool) override { ++updates; }
+    bool predict(const trace::BranchRecord &) noexcept override { return true; }
+    void update(const trace::BranchRecord &, bool) noexcept override { ++updates; }
     void reset() override { updates = 0; }
     std::string name() const override { return "probe"; }
     int updates = 0;

@@ -1,0 +1,64 @@
+/**
+ * Corpus: every hot-path call-graph rule in firing form. The COPRA_HOT
+ * mark on the base virtual roots both the base body and the overrider
+ * (virtual fan-out), both defined out of line; the region then reaches
+ * the free helper `plantedTally` through an unqualified call. One
+ * violation of each rule is planted inside the region:
+ * an allocating member call, a lock type, a throw statement, stderr
+ * logging, an unresolvable callee, and a hot function whose head
+ * forgets noexcept.
+ */
+
+namespace copra::predictor {
+
+class PlantedHotBase
+{
+  public:
+    COPRA_HOT virtual uint64_t stepAll(const uint64_t *pcs,
+                                       size_t n) noexcept;
+    virtual ~PlantedHotBase() = default;
+
+  protected:
+    uint64_t seed_ = 0;
+};
+
+class PlantedHotDerived : public PlantedHotBase
+{
+  public:
+    uint64_t stepAll(const uint64_t *pcs, size_t n) noexcept override;
+
+  private:
+    std::vector<uint64_t> log_;
+    Mutex mu_;
+};
+
+uint64_t
+PlantedHotBase::stepAll(const uint64_t *pcs, size_t n) noexcept
+{
+    uint64_t sum = seed_;
+    for (size_t i = 0; i < n; ++i)
+        sum += plantedMix(pcs[i]);               // expect: hot-unresolved
+    return sum + plantedTally(pcs, n);
+}
+
+uint64_t
+PlantedHotDerived::stepAll(const uint64_t *pcs, size_t n) noexcept
+{
+    log_.push_back(n);                           // expect: hot-alloc
+    MutexLock guard(mu_);                        // expect: hot-lock
+    if (n == 0)
+        throw n;                                 // expect: hot-throw
+    warn("planted hot step");                    // expect: hot-io
+    return plantedTally(pcs, n);
+}
+
+uint64_t                                         // expect: hot-throw
+plantedTally(const uint64_t *pcs, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += pcs[i] >> 2;
+    return sum;
+}
+
+} // namespace copra::predictor

@@ -1,0 +1,39 @@
+/**
+ * Corpus: every hot-path call-graph rule in suppressed form. Same
+ * region shape as planted_hot.cc (COPRA_HOT base virtual, out-of-line
+ * body, reachable helper), but each violation carries an allow()
+ * marker with a reason, so a clean run reports nothing.
+ */
+
+namespace copra::predictor {
+
+class SuppressedHotBase
+{
+  public:
+    COPRA_HOT virtual void tick(uint64_t pc) noexcept;
+    virtual ~SuppressedHotBase() = default;
+
+  protected:
+    void drain();
+
+    std::vector<uint64_t> samples_;
+    Mutex mu_;
+};
+
+void
+SuppressedHotBase::tick(uint64_t pc) noexcept
+{
+    samples_.push_back(pc); // copra-lint: allow(hot-alloc) -- corpus: warm-up fill only
+    MutexLock guard(mu_); // copra-lint: allow(hot-lock) -- corpus: cold slow path
+    tickHook(pc); // copra-lint: allow(hot-unresolved) -- corpus: plugin seam
+    warn("suppressed tick"); // copra-lint: allow(hot-io) -- corpus: rate-limited diagnostics
+    drain();
+}
+
+void // copra-lint: allow(hot-throw) -- corpus: termination-only helper
+SuppressedHotBase::drain()
+{
+    samples_.clear();
+}
+
+} // namespace copra::predictor

@@ -25,19 +25,19 @@ class Probe : public predictor::Predictor
 {
   public:
     bool
-    predict(const BranchRecord &) override
+    predict(const BranchRecord &) noexcept override
     {
         ++predicts;
         return true;
     }
     void
-    update(const BranchRecord &, bool taken) override
+    update(const BranchRecord &, bool taken) noexcept override
     {
         ++updates;
         if (taken)
             ++taken_updates;
     }
-    void observe(const BranchRecord &) override { ++observes; }
+    void observe(const BranchRecord &) noexcept override { ++observes; }
     void reset() override { predicts = updates = observes = 0; }
     std::string name() const override { return "probe"; }
 

@@ -8,6 +8,8 @@
  *   copra_lint --root . --json src bench        # machine findings
  *   copra_lint --root . --sarif findings.sarif src  # code scanning
  *   copra_lint --root . --graph-dot includes.dot src
+ *   copra_lint --root . --baseline known.txt src    # warn-only landing
+ *   copra_lint --root . --doc-hot-path src          # docs/HOT_PATH.md
  *   copra_lint --list-rules
  */
 
@@ -15,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,19 +38,88 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--root DIR] [--self-test CORPUS_DIR] [--list-rules]\n"
-        << "       [--json] [--sarif FILE] [--graph-dot FILE] "
-           "[PATH...]\n\n"
+        << "       [--json] [--sarif FILE] [--graph-dot FILE]\n"
+        << "       [--baseline FILE] [--write-baseline FILE]\n"
+        << "       [--doc-hot-path [--check FILE]] [PATH...]\n\n"
         << "Lints PATHs (default: src bench tests tools) relative to\n"
         << "--root (default: .) against copra's determinism contract,\n"
-        << "the module-layering DAG, and the predictor state contract\n"
-        << "(DESIGN.md sections 9, 10, and 14).\n"
+        << "the module-layering DAG, the predictor state contract, and\n"
+        << "the hot-path discipline rules (DESIGN.md sections 9, 10,\n"
+        << "14, and 15).\n"
         << "--json emits findings as a JSON object on stdout;\n"
         << "--sarif writes SARIF 2.1.0 to FILE ('-' for stdout) for\n"
         << "GitHub code scanning; --graph-dot writes the include graph\n"
-        << "as Graphviz DOT to FILE ('-' for stdout). Missing or\n"
-        << "unreadable PATHs are a hard error (exit 2), never a\n"
-        << "silent skip.\n";
+        << "(hot-region files filled) as Graphviz DOT to FILE ('-' for\n"
+        << "stdout); --baseline suppresses findings listed in FILE\n"
+        << "(one 'rel:line:rule' per line, '#' comments) so new rules\n"
+        << "can land warn-only; --write-baseline records the current\n"
+        << "findings in that format; --doc-hot-path prints the\n"
+        << "generated docs/HOT_PATH.md (--check FILE exits 1 on\n"
+        << "drift). Missing or unreadable PATHs are a hard error\n"
+        << "(exit 2), never a silent skip.\n";
     return 2;
+}
+
+/** One `rel:line:rule` baseline entry. */
+struct BaselineEntry
+{
+    std::string rel;
+    int line = 0;
+    std::string rule;
+
+    bool operator<(const BaselineEntry &o) const
+    {
+        if (rel != o.rel)
+            return rel < o.rel;
+        if (line != o.line)
+            return line < o.line;
+        return rule < o.rule;
+    }
+};
+
+/** Parse a baseline file; returns false (with a message) on bad input. */
+bool
+readBaseline(const std::string &path, std::set<BaselineEntry> &out,
+             std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot read baseline file " + path;
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        // rel may contain no ':', so split from the right: the last
+        // two fields are line and rule.
+        size_t lastColon = line.rfind(':');
+        size_t midColon =
+            lastColon == std::string::npos || lastColon == 0
+                ? std::string::npos
+                : line.rfind(':', lastColon - 1);
+        if (midColon == std::string::npos) {
+            error = path + ":" + std::to_string(lineno) +
+                ": expected rel:line:rule";
+            return false;
+        }
+        BaselineEntry e;
+        e.rel = line.substr(start, midColon - start);
+        e.rule = line.substr(lastColon + 1);
+        try {
+            e.line = std::stoi(
+                line.substr(midColon + 1, lastColon - midColon - 1));
+        } catch (...) {
+            error = path + ":" + std::to_string(lineno) +
+                ": bad line number";
+            return false;
+        }
+        out.insert(std::move(e));
+    }
+    return true;
 }
 
 std::string
@@ -153,9 +225,13 @@ main(int argc, char **argv)
     std::string corpus;
     std::string dotPath;
     std::string sarifPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::string checkPath;
     std::vector<std::string> paths;
     bool listRules = false;
     bool json = false;
+    bool docHotPath = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -167,6 +243,14 @@ main(int argc, char **argv)
             dotPath = argv[++i];
         } else if (arg == "--sarif" && i + 1 < argc) {
             sarifPath = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--write-baseline" && i + 1 < argc) {
+            writeBaselinePath = argv[++i];
+        } else if (arg == "--doc-hot-path") {
+            docHotPath = true;
+        } else if (arg == "--check" && i + 1 < argc) {
+            checkPath = argv[++i];
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--list-rules") {
@@ -211,8 +295,62 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (docHotPath) {
+        if (checkPath.empty()) {
+            std::cout << tree.hotPathDoc;
+            return 0;
+        }
+        std::ifstream in(checkPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in || buf.str() != tree.hotPathDoc) {
+            std::cerr << "copra_lint: " << checkPath
+                      << " is out of date; regenerate with\n  "
+                      << argv[0] << " --root " << root
+                      << " --doc-hot-path";
+            for (const std::string &p : paths)
+                std::cerr << " " << p;
+            std::cerr << " > " << checkPath << "\n";
+            return 1;
+        }
+        std::cout << checkPath << " is up to date\n";
+        return 0;
+    }
+
+    size_t baselined = 0;
+    if (!baselinePath.empty()) {
+        std::set<BaselineEntry> baseline;
+        std::string error;
+        if (!readBaseline(baselinePath, baseline, error)) {
+            std::cerr << "copra_lint: error: " << error << "\n";
+            return 2;
+        }
+        std::vector<copra::lint::Finding> kept;
+        for (copra::lint::Finding &f : tree.findings) {
+            if (baseline.count({f.rel, f.line, f.rule}))
+                ++baselined;
+            else
+                kept.push_back(std::move(f));
+        }
+        tree.findings = std::move(kept);
+    }
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath, std::ios::binary);
+        out << "# copra_lint baseline: rel:line:rule entries excluded\n"
+               "# from future runs; shrink this file, never grow it.\n";
+        for (const copra::lint::Finding &f : tree.findings)
+            out << f.rel << ":" << f.line << ":" << f.rule << "\n";
+        if (!out) {
+            std::cerr << "copra_lint: error: cannot write "
+                      << writeBaselinePath << "\n";
+            return 2;
+        }
+    }
+
     if (!dotPath.empty()) {
-        std::string dot = copra::lint::graphToDot(tree.graph);
+        std::string dot =
+            copra::lint::graphToDot(tree.graph, tree.hotFiles);
         if (dotPath == "-") {
             std::cout << dot;
         } else {
@@ -265,6 +403,9 @@ main(int argc, char **argv)
     for (const copra::lint::Finding &f : tree.findings)
         std::cout << f.rel << ":" << f.line << ": [" << f.rule << "] "
                   << f.message << "\n";
+    if (baselined)
+        std::cout << baselined << " baselined finding(s) excluded ("
+                  << baselinePath << ")\n";
     if (!tree.findings.empty()) {
         std::cout << tree.findings.size()
                   << " finding(s); see DESIGN.md section 9 for the "

@@ -289,7 +289,7 @@ runGraphRules(const std::vector<FileScan> &scans,
 }
 
 std::string
-graphToDot(const IncludeGraph &graph)
+graphToDot(const IncludeGraph &graph, const std::set<std::string> &hotFiles)
 {
     std::ostringstream out;
     out << "digraph copra_includes {\n"
@@ -297,6 +297,8 @@ graphToDot(const IncludeGraph &graph)
         << "    node [shape=box, fontsize=10];\n";
 
     // Cluster nodes by module so the rendering reads layer by layer.
+    // Files holding hot-region bodies are filled: the orange overlay is
+    // the COPRA_HOT closure at file granularity.
     std::map<std::string, std::vector<std::string>> byModule;
     for (const auto &[rel, edges] : graph.edges) {
         std::string module = moduleOf(rel);
@@ -305,8 +307,12 @@ graphToDot(const IncludeGraph &graph)
     for (const auto &[module, nodes] : byModule) {
         out << "    subgraph \"cluster_" << module << "\" {\n"
             << "        label=\"" << module << "\";\n";
-        for (const std::string &rel : nodes)
-            out << "        \"" << rel << "\";\n";
+        for (const std::string &rel : nodes) {
+            out << "        \"" << rel << "\"";
+            if (hotFiles.count(rel))
+                out << " [style=filled, fillcolor=\"#ffd8a8\"]";
+            out << ";\n";
+        }
         out << "    }\n";
     }
     for (const auto &[rel, edges] : graph.edges) {

@@ -88,7 +88,17 @@ struct Finding
             return line < o.line;
         if (rule != o.rule)
             return rule < o.rule;
-        return col < o.col;
+        if (col != o.col)
+            return col < o.col;
+        return message < o.message;
+    }
+
+    /** Identical findings (multi-include headers, overlapping passes)
+     *  deduplicate before emit so --json/SARIF output is stable. */
+    bool operator==(const Finding &o) const
+    {
+        return rel == o.rel && line == o.line && rule == o.rule &&
+            col == o.col && message == o.message;
     }
 };
 
@@ -167,6 +177,7 @@ struct SemaBody
     size_t scanIndex = 0; ///< index into the scans the model was built from
     size_t beginTok = 0;  ///< token index of the opening `{`
     size_t endTok = 0;    ///< token index of the matching `}`
+    size_t headTok = 0;   ///< first token of the definition head
 };
 
 /**
@@ -189,6 +200,8 @@ struct SemaClass
     bool hasConfigFields = false;
     bool hasTransientFields = false;
     std::vector<SemaBody> bodies;
+    size_t bodyBegin = 0; ///< first token inside the class braces
+    size_t bodyEnd = 0;   ///< token index of the closing `}`
 };
 
 /** Cross-TU symbol table over one set of scans. */
@@ -197,6 +210,10 @@ struct SemaModel
     /** Class definitions by name; first definition wins on collision. */
     std::map<std::string, SemaClass> classes;
 };
+
+/** Does `cls` (a name in `model`) transitively derive from `base`? */
+bool derivesFrom(const SemaModel &model, const std::string &cls,
+                 const std::string &base);
 
 /** Does `cls` (a name in `model`) transitively derive from Predictor? */
 bool derivesFromPredictor(const SemaModel &model, const std::string &cls);
@@ -216,6 +233,93 @@ SemaModel buildSemaModel(const std::vector<FileScan> &scans);
  */
 std::vector<Finding> runSemaRules(const SemaModel &model,
                                   const std::vector<FileScan> &scans);
+
+// --- Hot-path call graph (DESIGN.md §15) ----------------------------
+
+/** One function definition the call-graph pass knows about. */
+struct CgFunction
+{
+    std::string cls;  ///< owning class name; empty for free functions
+    std::string name; ///< unqualified function name
+    size_t scanIndex = 0;
+    size_t headTok = 0;  ///< first token of the definition head
+    size_t beginTok = 0; ///< token index of the opening `{`
+    size_t endTok = 0;   ///< token index of the matching `}`
+    int line = 0;        ///< line of the definition head
+    bool hasNoexcept = false; ///< `noexcept` appears in the head
+    bool eligible = false;    ///< may join the hot region (src/, not check)
+
+    /** Display label, e.g. "TwoLevel::predictUpdateSoa" or "runLoop". */
+    std::string label() const
+    {
+        return cls.empty() ? name : cls + "::" + name;
+    }
+};
+
+/** One COPRA_HOT root annotation, as written in the source. */
+struct HotMark
+{
+    std::string cls;    ///< enclosing class; empty for free functions
+    std::string method; ///< annotated function name
+    std::string rel;    ///< file the annotation appears in
+    int line = 0;
+    bool hasNoexcept = false; ///< `noexcept` in the annotated statement
+};
+
+/**
+ * The cross-TU function symbol table and hot-region closure: every
+ * method body from the sema model plus every namespace-scope free
+ * function definition, the COPRA_HOT root marks, and — after
+ * buildCallGraph — the reachable hot region with one provenance chain
+ * per member ("sim::runLoop -> Predictor::predictUpdateSoa -> ...").
+ */
+struct CallGraph
+{
+    std::vector<CgFunction> functions;
+    std::vector<HotMark> marks;
+    std::vector<char> hot;          ///< parallel to functions: in region?
+    std::vector<std::string> hotVia; ///< provenance chain per hot function
+    std::vector<char> markBound; ///< parallel to marks: bound ≥1 function?
+};
+
+/**
+ * Build the function table, bind COPRA_HOT marks (a mark on a class
+ * method roots every overriding body in derived classes; a mark on a
+ * free function roots every definition of that name), and compute the
+ * reachable hot region by resolving calls through the class table.
+ * Bodies under src/check/ and outside src/ never join the region —
+ * reference models and harnesses are clarity-first by design.
+ */
+CallGraph buildCallGraph(const SemaModel &model,
+                         const std::vector<FileScan> &scans);
+
+/**
+ * The hot-path discipline rules over the hot region: hot-alloc,
+ * hot-lock, hot-throw (including missing noexcept), hot-io, and
+ * hot-unresolved for calls the lexical resolver cannot bind.
+ * Suppressions from the file owning each finding apply; results are
+ * unsorted (callers sort the merged set).
+ */
+std::vector<Finding> runCallGraphRules(const CallGraph &cg,
+                                       const SemaModel &model,
+                                       const std::vector<FileScan> &scans);
+
+/**
+ * Render docs/HOT_PATH.md: the declared roots and, per
+ * Predictor-derived class under src/predictor/, the hot functions its
+ * prediction path reaches. Drift-gated by the hot_path_doc_drift test.
+ */
+std::string renderHotPathDoc(const CallGraph &cg, const SemaModel &model,
+                             const std::vector<FileScan> &scans);
+
+/**
+ * Display column of 1-based byte offset `byteCol` in `line`: UTF-8
+ * continuation bytes do not advance the column, and a tab advances to
+ * the next 8-wide tab stop (what editors and SARIF viewers show for
+ * tab-indented lines). SARIF and --json emit display columns, never
+ * raw byte offsets.
+ */
+int displayColumn(const std::string &line, int byteCol);
 
 // --- Module layering (DESIGN.md §10) --------------------------------
 
@@ -268,8 +372,10 @@ std::vector<Finding> runGraphRules(const std::vector<FileScan> &scans,
                                    const IncludeGraph &graph);
 
 /** Render the include graph as Graphviz DOT, module-clustered;
- *  DAG-violating edges are drawn red. */
-std::string graphToDot(const IncludeGraph &graph);
+ *  DAG-violating edges are drawn red. Files in `hotFiles` (those
+ *  containing hot-region bodies) are filled as the hot overlay. */
+std::string graphToDot(const IncludeGraph &graph,
+                       const std::set<std::string> &hotFiles = {});
 
 /** Everything lintTreeFull learned about one tree. */
 struct TreeLint
@@ -279,6 +385,11 @@ struct TreeLint
     /** Missing or unreadable input paths — the caller must treat any
      *  entry as a hard error, not a clean run. */
     std::vector<std::string> errors;
+    /** Files containing at least one hot-region body (--graph-dot
+     *  overlay). */
+    std::set<std::string> hotFiles;
+    /** The regenerated docs/HOT_PATH.md content for this tree. */
+    std::string hotPathDoc;
 };
 
 /**

@@ -524,6 +524,25 @@ ruleCatalog()
         {"state-mutation",
          "prediction-path methods mutate no config-listed member; "
          "uncontracted predictors mutate no member there at all"},
+        {"hot-alloc",
+         "the COPRA_HOT-rooted region performs no heap allocation: no "
+         "new/delete, no allocating std types or member calls "
+         "(push_back/resize/reserve/...)"},
+        {"hot-lock",
+         "the hot region takes no locks: no util::Mutex/MutexLock, no "
+         "std lock types, no function-local statics, no atomics "
+         "without an explicit relaxed memory order"},
+        {"hot-throw",
+         "the hot region is exception-free: no throw, and every hot "
+         "function (and COPRA_HOT declaration) spells noexcept"},
+        {"hot-io",
+         "the hot region performs no IO: no streams, stdio, file, or "
+         "logging calls (panic/fatal stay legal as the assertion "
+         "frontier)"},
+        {"hot-unresolved",
+         "every call in the hot region resolves to a known definition "
+         "or carries an allow() naming why it is safe (function "
+         "pointers, trusted frontiers)"},
     };
 }
 
@@ -741,7 +760,33 @@ lintTreeFull(const std::string &rootStr,
     std::vector<Finding> semaFindings = runSemaRules(model, scans);
     all.insert(all.end(), semaFindings.begin(), semaFindings.end());
 
+    // Call-graph pass: COPRA_HOT reachability and the hot-path
+    // discipline rules (DESIGN.md §15).
+    CallGraph cg = buildCallGraph(model, scans);
+    std::vector<Finding> hotFindings = runCallGraphRules(cg, model, scans);
+    all.insert(all.end(), hotFindings.begin(), hotFindings.end());
+    for (size_t f = 0; f < cg.functions.size(); ++f)
+        if (cg.hot[f])
+            result.hotFiles.insert(scans[cg.functions[f].scanIndex].rel);
+    result.hotPathDoc = renderHotPathDoc(cg, model, scans);
+
+    // Emit display columns, never raw byte offsets: SARIF consumers
+    // count code points, and the lexer records bytes.
+    std::map<std::string, const FileScan *> byRel;
+    for (const FileScan &scan : scans)
+        byRel.emplace(scan.rel, &scan);
+    for (Finding &f : all) {
+        auto it = byRel.find(f.rel);
+        if (it == byRel.end() || f.line < 1 ||
+            size_t(f.line) > it->second->lines.size())
+            continue;
+        f.col = displayColumn(it->second->lines[f.line - 1], f.col);
+    }
+
+    // Identical findings (multi-include headers, overlapping passes)
+    // deduplicate so --json/SARIF artifacts diff stably across runs.
     std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
     result.findings = std::move(all);
     return result;
 }
@@ -806,7 +851,11 @@ selfTest(const std::string &rootStr, const std::string &corpus,
     }
     for (const Finding &f : runGraphRules(scans, buildIncludeGraph(scans)))
         actual[f.rel].insert({f.line, f.rule});
-    for (const Finding &f : runSemaRules(buildSemaModel(scans), scans))
+    SemaModel model = buildSemaModel(scans);
+    for (const Finding &f : runSemaRules(model, scans))
+        actual[f.rel].insert({f.line, f.rule});
+    for (const Finding &f :
+         runCallGraphRules(buildCallGraph(model, scans), model, scans))
         actual[f.rel].insert({f.line, f.rule});
 
     for (const FileScan &scan : scans) {

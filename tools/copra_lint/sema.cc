@@ -183,7 +183,7 @@ parseClassBody(const std::vector<Token> &toks, size_t begin, size_t end,
                 if (fieldNameBackward(toks, stmt, firstParen, name)) {
                     cls.methods.insert(name.name);
                     cls.bodies.push_back(
-                        {name.name, scanIndex, j, bodyEnd - 1});
+                        {name.name, scanIndex, j, bodyEnd - 1, stmt});
                 }
             } else {
                 // Data member with a braced initializer.
@@ -397,7 +397,8 @@ isPredictPathMethod(const std::string &m)
 } // namespace
 
 bool
-derivesFromPredictor(const SemaModel &model, const std::string &cls)
+derivesFrom(const SemaModel &model, const std::string &cls,
+            const std::string &base)
 {
     std::set<std::string> visited;
     std::vector<std::string> work;
@@ -407,18 +408,24 @@ derivesFromPredictor(const SemaModel &model, const std::string &cls)
     work.insert(work.end(), it->second.bases.begin(),
                 it->second.bases.end());
     while (!work.empty()) {
-        std::string base = work.back();
+        std::string b = work.back();
         work.pop_back();
-        if (!visited.insert(base).second)
+        if (!visited.insert(b).second)
             continue;
-        if (base == "Predictor")
+        if (b == base)
             return true;
-        auto bit = model.classes.find(base);
+        auto bit = model.classes.find(b);
         if (bit != model.classes.end())
             work.insert(work.end(), bit->second.bases.begin(),
                         bit->second.bases.end());
     }
     return false;
+}
+
+bool
+derivesFromPredictor(const SemaModel &model, const std::string &cls)
+{
+    return derivesFrom(model, cls, "Predictor");
 }
 
 SemaModel
@@ -441,6 +448,8 @@ buildSemaModel(const std::vector<FileScan> &scans)
             cls.rel = scans[s].rel;
             cls.scanIndex = s;
             size_t bodyEnd = skipBraces(toks, bodyBegin - 1) - 1;
+            cls.bodyBegin = bodyBegin;
+            cls.bodyEnd = bodyEnd;
             parseClassBody(toks, bodyBegin, bodyEnd, s, cls);
             model.classes.emplace(cls.name, std::move(cls));
         }
@@ -486,7 +495,7 @@ buildSemaModel(const std::vector<FileScan> &scans)
                 continue;
             size_t bodyEnd = skipBraces(toks, j) - 1;
             it->second.bodies.push_back(
-                {toks[i + 2].text, s, j, bodyEnd});
+                {toks[i + 2].text, s, j, bodyEnd, i});
             i = j; // resume after the header; bodies may nest lambdas
         }
     }
