@@ -6,8 +6,10 @@
  * paper's tables or figures over the synthetic benchmark suite and
  * prints the paper's published values alongside for comparison.
  *
- * Parallelism: runSuite() runs the 8 benchmarks of a fig/table bench
- * concurrently on the global thread pool (size --threads /
+ * Parallelism: runSuite() runs a bench's workload roster — the paper's
+ * 8 benchmarks by default, or an explicit name list (the figure benches
+ * pass workload::workloadSuiteNames() to include the frontier families)
+ * — concurrently on the global thread pool (size --threads /
  * COPRA_THREADS), collecting rows in suite order so the printed table
  * is byte-identical for every thread count. Traces are served from the
  * on-disk cache (.copra-cache/ or $COPRA_CACHE_DIR) unless
@@ -166,23 +168,23 @@ struct SuiteTimingAccumulator
 };
 
 /**
- * Run @p producer over every benchmark of the suite concurrently and
- * return the produced rows in suite order (deterministic regardless of
- * thread count or scheduling: each task owns its BenchmarkExperiment
- * and writes only its own slot).
+ * Run @p producer over @p names concurrently and return the produced
+ * rows in that order (deterministic regardless of thread count or
+ * scheduling: each task owns its BenchmarkExperiment and writes only
+ * its own slot). Names must be suite workloads
+ * (workload::makeBenchmarkTrace dispatches paper and frontier alike).
  *
  * @param timing Optional sink for per-phase and wall-clock seconds.
  */
 template <typename Producer>
 auto
 runSuite(const BenchOptions &opts, SuiteTiming *timing,
-         Producer &&producer)
+         const std::vector<std::string> &names, Producer &&producer)
     -> std::vector<std::decay_t<
         std::invoke_result_t<Producer &, core::BenchmarkExperiment &>>>
 {
     using Row = std::decay_t<
         std::invoke_result_t<Producer &, core::BenchmarkExperiment &>>;
-    const std::vector<std::string> &names = workload::benchmarkNames();
     std::vector<Row> rows(names.size());
 
     SuiteTimingAccumulator accumulator;
@@ -200,6 +202,16 @@ runSuite(const BenchOptions &opts, SuiteTiming *timing,
             std::chrono::steady_clock::now() - start).count();
     }
     return rows;
+}
+
+/** runSuite over the paper's eight benchmarks (the tables' roster). */
+template <typename Producer>
+auto
+runSuite(const BenchOptions &opts, SuiteTiming *timing,
+         Producer &&producer)
+{
+    return runSuite(opts, timing, workload::benchmarkNames(),
+                    std::forward<Producer>(producer));
 }
 
 /**

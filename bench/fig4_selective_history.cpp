@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
+#include "workload/frontier.hpp"
 #include "workload/profiles.hpp"
 
 int
@@ -24,7 +25,7 @@ main(int argc, char **argv)
 
     copra::bench::SuiteTiming timing;
     auto rows = copra::bench::runSuite(
-        opts, &timing,
+        opts, &timing, copra::workload::workloadSuiteNames(),
         [](copra::core::BenchmarkExperiment &experiment) {
             return experiment.fig4Row();
         });

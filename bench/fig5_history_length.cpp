@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
+#include "workload/frontier.hpp"
 #include "workload/profiles.hpp"
 
 int
@@ -34,14 +35,14 @@ main(int argc, char **argv)
 
     copra::bench::SuiteTiming timing;
     auto all_series = copra::bench::runSuite(
-        opts, &timing,
+        opts, &timing, copra::workload::workloadSuiteNames(),
         [&depths,
          &opts](copra::core::BenchmarkExperiment &experiment) {
             return copra::core::fig5Series(experiment.trace(),
                                            opts.config, depths);
         });
 
-    const auto &names = copra::workload::benchmarkNames();
+    const auto &names = copra::workload::workloadSuiteNames();
     for (size_t i = 0; i < all_series.size(); ++i) {
         table.row().cell(names[i]);
         for (const auto &[depth, accuracy] : all_series[i])

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
+#include "workload/frontier.hpp"
 #include "workload/profiles.hpp"
 
 int
@@ -28,7 +29,7 @@ main(int argc, char **argv)
                         "static bucket >99% biased %"});
     copra::bench::SuiteTiming timing;
     auto produced = copra::bench::runSuite(
-        opts, &timing,
+        opts, &timing, copra::workload::workloadSuiteNames(),
         [](copra::core::BenchmarkExperiment &experiment) {
             return experiment.fig6Row();
         });

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
+#include "workload/frontier.hpp"
 #include "workload/profiles.hpp"
 
 int
@@ -27,12 +28,12 @@ main(int argc, char **argv)
                         "ideal static best %", "static >99% biased %"});
     copra::bench::SuiteTiming timing;
     auto splits = copra::bench::runSuite(
-        opts, &timing,
+        opts, &timing, copra::workload::workloadSuiteNames(),
         [](copra::core::BenchmarkExperiment &experiment) {
             return experiment.fig7Split();
         });
 
-    const auto &names = copra::workload::benchmarkNames();
+    const auto &names = copra::workload::workloadSuiteNames();
     double sums[4] = {0, 0, 0, 0};
     int rows = 0;
     for (size_t i = 0; i < splits.size(); ++i) {

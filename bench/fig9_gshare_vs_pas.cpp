@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
+#include "workload/frontier.hpp"
 #include "workload/profiles.hpp"
 
 int
@@ -34,12 +35,12 @@ main(int argc, char **argv)
 
     copra::bench::SuiteTiming timing;
     auto curves = copra::bench::runSuite(
-        opts, &timing,
+        opts, &timing, copra::workload::workloadSuiteNames(),
         [](copra::core::BenchmarkExperiment &experiment) {
             return experiment.fig9Percentiles();
         });
 
-    const auto &names = copra::workload::benchmarkNames();
+    const auto &names = copra::workload::workloadSuiteNames();
     for (size_t i = 0; i < curves.size(); ++i) {
         table.row().cell(names[i]);
         for (double p : percentiles)

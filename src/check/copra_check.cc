@@ -18,6 +18,12 @@
  * docs/STATE_BUDGETS.md from the same roster (--check FILE gates
  * drift).
  *
+ * --ingest-gates verifies the foreign-trace path end to end over a
+ * committed sample (--sample): reference ingest, stream-vs-mmap SoA
+ * identity of the emitted cache-v2 file, record round-trip,
+ * cross-format (text/CSV) agreement, and corruption fuzz
+ * (check/ingest_gates.hpp).
+ *
  * --hot-gates replays fuzzed traces through the roster's SoA hot path
  * and asserts a steady-state replay performs zero heap allocations
  * (this binary replaces operator new to count — check/alloc_probe.cc)
@@ -31,6 +37,7 @@
  *   copra_check --inject all            # harness self-test
  *   copra_check --repro-dir /tmp/repro  # dump reproducer .trace files
  *   copra_check --state-gates --traces 8
+ *   copra_check --ingest-gates --sample tests/data/sample_foreign.trace
  *   copra_check --hot-gates --traces 3
  *   copra_check --doc-state-budgets --check docs/STATE_BUDGETS.md
  */
@@ -44,6 +51,7 @@
 #include "check/differential.hpp"
 #include "check/fuzz.hpp"
 #include "check/hot_gates.hpp"
+#include "check/ingest_gates.hpp"
 #include "check/state_gates.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
@@ -239,6 +247,15 @@ main(int argc, char **argv)
     parser.addFlag("hot-gates", &hot_gates,
                    "run the steady-state zero-allocation / zero-lock "
                    "hot-path gates over the whole factory roster");
+    bool ingest_gates = false;
+    parser.addFlag("ingest-gates", &ingest_gates,
+                   "run the foreign-trace ingestion gates (sample "
+                   "ingest, stream/mmap identity, round-trip, "
+                   "corruption fuzz) over --sample");
+    std::string sample_path;
+    parser.addString("sample", &sample_path,
+                     "with --ingest-gates: committed sample foreign "
+                     "trace to gate on");
     bool doc_budgets = false;
     parser.addFlag("doc-state-budgets", &doc_budgets,
                    "print docs/STATE_BUDGETS.md regenerated from the "
@@ -291,6 +308,19 @@ main(int argc, char **argv)
                      "  copra_check --doc-state-budgets > %s\n",
                      budgets_check.c_str(), budgets_check.c_str());
         return 1;
+    }
+
+    if (ingest_gates) {
+        fatalIf(sample_path.empty(),
+                "--ingest-gates needs --sample <foreign trace>");
+        check::IngestGateOptions gate_options;
+        gate_options.samplePath = sample_path;
+        gate_options.seedBase = seed_base;
+        check::IngestGateReport report =
+            check::runIngestGates(gate_options);
+        std::fputs(check::formatIngestGateReport(report).c_str(),
+                   stdout);
+        return report.ok() ? 0 : 1;
     }
 
     if (state_gates) {

@@ -237,6 +237,103 @@ deepHistory(Trace &out, Rng &rng, uint64_t n)
 }
 
 void
+vmDispatch(Trace &out, Rng &rng, uint64_t n)
+{
+    // A miniature of the "interp" frontier family: a fixed bytecode
+    // sequence with Markov successor structure, each opcode lowered to
+    // the else-if compare chain a switch compiles to. The dispatch
+    // outcomes are a deterministic function of the opcode stream, so
+    // global-history predictors and reference models must agree on
+    // long correlated chains with embedded unconditional jumps.
+    unsigned opcodes = 4 + static_cast<unsigned>(rng.index(9)); // 4..12
+    std::vector<uint8_t> successor(opcodes);
+    for (uint8_t &s : successor)
+        s = static_cast<uint8_t>(rng.index(opcodes));
+    uint8_t op = static_cast<uint8_t>(rng.index(opcodes));
+    uint64_t dispatch_pc = 0xc000;
+    uint64_t handler_base = 0xd000;
+    uint64_t emitted = 0;
+    while (emitted < n) {
+        op = rng.bernoulli(0.7)
+            ? successor[op]
+            : static_cast<uint8_t>(rng.index(opcodes));
+        for (unsigned j = 0; j <= op && emitted < n; ++j, ++emitted)
+            out.append(cond(dispatch_pc + j * 8,
+                            handler_base + j * 0x100, j == op));
+        if (emitted < n)
+            out.append({handler_base + uint64_t(op) * 0x100 + 0x78,
+                        dispatch_pc, BranchKind::Jump, true});
+    }
+}
+
+void
+dataDependent(Trace &out, Rng &rng, uint64_t n)
+{
+    // The "datadep" shape in miniature: the same static branches flip
+    // between predictable and random as the value-stream regime
+    // changes, stressing any predictor path that specializes on a
+    // branch's recent behaviour.
+    uint64_t body_pc = 0xe000;
+    int64_t value = static_cast<int64_t>(rng.index(256));
+    int64_t prev = 0;
+    uint64_t emitted = 0;
+    auto emit = [&](uint64_t pc, uint64_t target, bool taken) {
+        if (emitted < n) {
+            out.append(cond(pc, target, taken));
+            ++emitted;
+        }
+    };
+    while (emitted < n) {
+        unsigned regime = static_cast<unsigned>(rng.index(3));
+        uint64_t len = 16 + rng.index(113); // 16..128 elements
+        for (uint64_t i = 0; i < len && emitted < n; ++i) {
+            switch (regime) {
+              case 0:
+                value += rng.bernoulli(0.9) ? 1 : 0;
+                break;
+              case 1:
+                value += static_cast<int64_t>(rng.index(17)) - 8;
+                break;
+              default:
+                value = static_cast<int64_t>(rng.index(256));
+                break;
+            }
+            emit(body_pc, body_pc + 0x40, value < 128);
+            emit(body_pc + 8, body_pc + 0x48, value >= prev);
+            emit(body_pc + 16, body_pc - 0x20, i + 1 < len);
+            prev = value;
+        }
+    }
+}
+
+void
+longPeriodNest(Trace &out, Rng &rng, uint64_t n)
+{
+    // The "nestloop" shape in miniature: co-prime period-48/period-37
+    // counters (their xor repeats every 1776 iterations) and a
+    // period-127 run pattern — periodicities past every history
+    // window and loop-count saturation point in the roster.
+    uint64_t pc = 0xf000;
+    uint64_t tick = rng.index(1776);
+    uint64_t emitted = 0;
+    auto emit = [&](uint64_t p, uint64_t target, bool taken) {
+        if (emitted < n) {
+            out.append(cond(p, target, taken));
+            ++emitted;
+        }
+    };
+    while (emitted < n) {
+        bool a = tick % 48 < 24;
+        bool b = tick % 37 < 18;
+        emit(pc, pc + 0x40, a);
+        emit(pc + 8, pc + 0x48, b);
+        emit(pc + 16, pc + 0x50, a != b);
+        emit(pc + 24, pc - 0x80, tick % 127 < 96);
+        ++tick;
+    }
+}
+
+void
 randomSoup(Trace &out, Rng &rng, uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i) {
@@ -263,6 +360,9 @@ fuzzShapeName(FuzzShape shape)
       case FuzzShape::RandomSoup:       return "random-soup";
       case FuzzShape::TagAliasing:      return "tag-aliasing";
       case FuzzShape::DeepHistory:      return "deep-history";
+      case FuzzShape::VmDispatch:       return "vm-dispatch";
+      case FuzzShape::DataDependent:    return "data-dependent";
+      case FuzzShape::LongPeriodNest:   return "long-period-nest";
     }
     return "unknown";
 }
@@ -295,6 +395,15 @@ appendFuzzSegment(trace::Trace &out, FuzzShape shape, Rng &rng,
         break;
       case FuzzShape::DeepHistory:
         deepHistory(out, rng, conditionals);
+        break;
+      case FuzzShape::VmDispatch:
+        vmDispatch(out, rng, conditionals);
+        break;
+      case FuzzShape::DataDependent:
+        dataDependent(out, rng, conditionals);
+        break;
+      case FuzzShape::LongPeriodNest:
+        longPeriodNest(out, rng, conditionals);
         break;
     }
 }

@@ -44,10 +44,16 @@ enum class FuzzShape : uint8_t
                         //!< of small tagged tables (TAGE edge paths)
     DeepHistory,        //!< correlations at distances beyond any folded
                         //!< history window, plus fold-flushing runs
+    VmDispatch,         //!< interpreter dispatch lowered to else-if
+                        //!< chains (workload/frontier.hpp "interp")
+    DataDependent,      //!< regime-switching data-dependent branches
+                        //!< ("datadep": sorted / walk / noise streams)
+    LongPeriodNest,     //!< co-prime counters and long-period loop
+                        //!< patterns ("nestloop" shapes)
 };
 
 /** Number of FuzzShape values (for enumeration in tests). */
-inline constexpr unsigned kFuzzShapeCount = 8;
+inline constexpr unsigned kFuzzShapeCount = 11;
 
 /** Human-readable shape name. */
 const char *fuzzShapeName(FuzzShape shape);

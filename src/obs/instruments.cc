@@ -182,6 +182,27 @@ buildCatalog()
             "(reads and writes)",
             "trace", 0.0, 64.0 * 1024 * 1024, 64);
 
+    // --- trace: foreign-trace ingestion -----------------------------
+    add(c, i.traceIngestRecords, "trace.ingest.records", Kind::Counter,
+        "records", "branch records accepted by foreign-trace ingestion",
+        "trace");
+    add(c, i.traceIngestConditionals, "trace.ingest.conditionals",
+        Kind::Counter, "branches",
+        "conditional branches among the accepted records", "trace");
+    add(c, i.traceIngestNormalized, "trace.ingest.normalized",
+        Kind::Counter, "records",
+        "non-conditional records whose outcome was coerced to taken "
+        "during normalization",
+        "trace");
+    add(c, i.traceIngestReordered, "trace.ingest.reordered",
+        Kind::Counter, "records",
+        "CSV rows moved back into index order during normalization",
+        "trace");
+    add(c, i.traceIngestWarnings, "trace.ingest.warnings",
+        Kind::Counter, "warnings",
+        "non-fatal validation warnings emitted while ingesting",
+        "trace");
+
     // --- check: differential harness --------------------------------
     add(c, i.checkDiffTraces, "check.diff.traces", Kind::Counter,
         "traces", "fuzzed traces replayed by the differential suite",

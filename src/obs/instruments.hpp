@@ -75,6 +75,14 @@ struct Ids
     InstrumentId traceCacheWriteBytes = 0;
     InstrumentId traceCacheEntryBytes = 0;
 
+    // trace: foreign-trace ingestion (src/trace/ingest.cc via
+    // tools/copra_ingest).
+    InstrumentId traceIngestRecords = 0;
+    InstrumentId traceIngestConditionals = 0;
+    InstrumentId traceIngestNormalized = 0;
+    InstrumentId traceIngestReordered = 0;
+    InstrumentId traceIngestWarnings = 0;
+
     // check: the differential harness (src/check/differential.cc).
     InstrumentId checkDiffTraces = 0;
     InstrumentId checkDiffComparisons = 0;

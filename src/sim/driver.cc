@@ -57,13 +57,22 @@ runLoop(const trace::SoABlocks &soa,
                 pred.predictUpdateSoa(batch, correct_scratch);
             const uint32_t *sidx = soa.staticIndex() + seg.begin;
             const uint8_t *taken = batch.taken;
-            for (size_t k = 0; k < seg.count; ++k) {
-                packed[sidx[k]] += 1 | (uint64_t(taken[k]) << 21) |
-                    (uint64_t(correct_scratch[k]) << 42);
+            // Accumulate in flush-bounded chunks: a single segment can
+            // exceed 2^21 branches (long ingested foreign traces), and
+            // a segment-granular flush would let one pc's 21-bit execs
+            // field wrap and carry into the taken field.
+            size_t k = 0;
+            while (k < seg.count) {
+                size_t chunk = static_cast<size_t>(std::min<uint64_t>(
+                    seg.count - k, kFlushEvery - since_flush));
+                for (size_t end = k + chunk; k < end; ++k) {
+                    packed[sidx[k]] += 1 | (uint64_t(taken[k]) << 21) |
+                        (uint64_t(correct_scratch[k]) << 42);
+                }
+                since_flush += chunk;
+                if (since_flush >= kFlushEvery)
+                    flush();
             }
-            since_flush += seg.count;
-            if (since_flush >= kFlushEvery)
-                flush();
         } else {
             totals.correct += pred.predictUpdateSoa(batch, nullptr);
         }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/logging.hpp"
+#include "workload/frontier.hpp"
 
 namespace copra::workload {
 
@@ -346,6 +347,8 @@ benchmarkProfile(const std::string &name)
 trace::Trace
 makeBenchmarkTrace(const std::string &name, uint64_t branches, uint64_t seed)
 {
+    if (isFrontierWorkload(name))
+        return makeFrontierTrace(name, branches, seed);
     BenchmarkProfile profile = benchmarkProfile(name);
     Program program = buildProgram(profile);
     uint64_t exec_seed = seed ? seed : profile.buildSeed * 77 + 13;

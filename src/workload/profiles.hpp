@@ -34,9 +34,11 @@ const std::vector<std::string> &benchmarkShortNames();
 BenchmarkProfile benchmarkProfile(const std::string &name);
 
 /**
- * Build and execute the named benchmark.
+ * Build and execute the named benchmark. Frontier family names
+ * (workload/frontier.hpp) are dispatched to makeFrontierTrace, so any
+ * suite member can be produced through this one entry point.
  *
- * @param name One of benchmarkNames().
+ * @param name One of benchmarkNames() or frontierNames().
  * @param branches Number of dynamic conditional branches to emit.
  * @param seed Execution seed (default: the profile's canonical seed).
  */

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for workload fingerprinting (core/characterize.hpp):
+ * history-conditioned entropy on traces with known closed-form values,
+ * fingerprint invariants over synthetic suite workloads, family
+ * labeling, JSON emission, and the doc renderer's drift-relevant
+ * structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterize.hpp"
+#include "workload/frontier.hpp"
+#include "workload/profiles.hpp"
+
+namespace copra::core {
+namespace {
+
+trace::Trace
+condTrace(const std::vector<std::pair<uint64_t, bool>> &outcomes)
+{
+    trace::Trace t("unit", 1);
+    for (const auto &[pc, taken] : outcomes)
+        t.append({pc, pc + 64, trace::BranchKind::Conditional, taken});
+    return t;
+}
+
+/** Strictly alternating T,N,T,N... at one pc. */
+trace::Trace
+alternatingTrace(size_t n)
+{
+    std::vector<std::pair<uint64_t, bool>> outcomes;
+    for (size_t i = 0; i < n; ++i)
+        outcomes.emplace_back(0x100, (i & 1) == 0);
+    return condTrace(outcomes);
+}
+
+TEST(CharacterizeEntropy, AlternatingBranchIsOneBitUnconditioned)
+{
+    trace::Trace t = alternatingTrace(4096);
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 0), 1.0, 1e-9);
+    EXPECT_NEAR(localConditionedEntropyBits(t, 0), 1.0, 1e-9);
+}
+
+TEST(CharacterizeEntropy, OneHistoryBitExplainsAlternation)
+{
+    // After seeing the previous outcome, the next is fully determined;
+    // only the single history-less first branch contributes entropy,
+    // and it lands in a deterministic context anyway.
+    trace::Trace t = alternatingTrace(4096);
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 1), 0.0, 1e-6);
+    EXPECT_NEAR(localConditionedEntropyBits(t, 1), 0.0, 1e-6);
+}
+
+TEST(CharacterizeEntropy, AlwaysTakenBranchIsZeroEntropy)
+{
+    std::vector<std::pair<uint64_t, bool>> outcomes(1000, {0x100, true});
+    trace::Trace t = condTrace(outcomes);
+    for (unsigned depth : {0u, 1u, 4u, 8u})
+        EXPECT_DOUBLE_EQ(globalConditionedEntropyBits(t, depth), 0.0)
+            << "depth " << depth;
+}
+
+TEST(CharacterizeEntropy, BiasedBranchMatchesBinaryEntropyFormula)
+{
+    // 3-in-4 taken at a single pc: H = -(3/4)log2(3/4) - (1/4)log2(1/4).
+    std::vector<std::pair<uint64_t, bool>> outcomes;
+    for (int i = 0; i < 4000; ++i)
+        outcomes.emplace_back(0x100, i % 4 != 0);
+    trace::Trace t = condTrace(outcomes);
+    double expected = -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 0), expected, 1e-9);
+}
+
+TEST(CharacterizeEntropy, LocalHistorySeparatesInterleavedBranches)
+{
+    // Branch A always taken, branch B always not, perfectly interleaved.
+    // Per-address: both deterministic at depth 0. Global depth 0 sees a
+    // 50/50 mix (1 bit), but 1 global bit identifies which branch is
+    // next, so it collapses too.
+    std::vector<std::pair<uint64_t, bool>> outcomes;
+    for (int i = 0; i < 2000; ++i) {
+        outcomes.emplace_back(0x100, true);
+        outcomes.emplace_back(0x200, false);
+    }
+    trace::Trace t = condTrace(outcomes);
+    EXPECT_NEAR(localConditionedEntropyBits(t, 0), 0.0, 1e-9);
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 0), 1.0, 1e-9);
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 1), 0.0, 1e-6);
+}
+
+TEST(CharacterizeEntropy, LoopTripCountNeedsEnoughHistoryBits)
+{
+    // A trip-4 loop body (T,T,T,N repeating): 2 history bits cannot
+    // distinguish position 3 of TTTN from positions 0-1, but 3 bits
+    // pin every position exactly.
+    std::vector<std::pair<uint64_t, bool>> outcomes;
+    for (int i = 0; i < 4000; ++i)
+        outcomes.emplace_back(0x100, i % 4 != 3);
+    trace::Trace t = condTrace(outcomes);
+    EXPECT_GT(globalConditionedEntropyBits(t, 2), 0.1);
+    EXPECT_NEAR(globalConditionedEntropyBits(t, 3), 0.0, 1e-6);
+}
+
+TEST(CharacterizeEntropy, DeeperHistoryNeverHurts)
+{
+    trace::Trace t = workload::makeBenchmarkTrace("gcc", 30000, 0);
+    double prev_g = globalConditionedEntropyBits(t, 0);
+    double prev_l = localConditionedEntropyBits(t, 0);
+    for (unsigned depth : {2u, 4u, 8u, 12u}) {
+        double g = globalConditionedEntropyBits(t, depth);
+        double l = localConditionedEntropyBits(t, depth);
+        // Conditioning on more bits cannot increase empirical entropy.
+        EXPECT_LE(g, prev_g + 1e-9) << "global depth " << depth;
+        EXPECT_LE(l, prev_l + 1e-9) << "local depth " << depth;
+        prev_g = g;
+        prev_l = l;
+    }
+}
+
+TEST(CharacterizeFingerprint, CoversFootprintBiasAndPredictor)
+{
+    trace::Trace t = workload::makeBenchmarkTrace("compress", 20000, 0);
+    CharacterizeOptions options;
+    WorkloadFingerprint fp = characterizeTrace(t, options);
+    EXPECT_EQ(fp.name, "compress");
+    EXPECT_EQ(fp.family, "paper");
+    EXPECT_EQ(fp.records, t.size());
+    EXPECT_EQ(fp.conditionals, t.conditionalCount());
+    EXPECT_GT(fp.staticBranches, 0u);
+    EXPECT_GT(fp.takenRate, 0.0);
+    EXPECT_LT(fp.takenRate, 1.0);
+    EXPECT_GE(fp.biasedFraction99, 0.0);
+    EXPECT_LE(fp.biasedFraction99, 1.0);
+    ASSERT_EQ(fp.curve.size(), options.depths.size());
+    EXPECT_FALSE(std::isnan(fp.gshareAccuracyPercent));
+    EXPECT_GT(fp.gshareAccuracyPercent, 50.0);
+    EXPECT_GE(fp.globalHistoryGainBits(), -1e-9);
+    EXPECT_GE(fp.localHistoryGainBits(), -1e-9);
+}
+
+TEST(CharacterizeFingerprint, NoPredictorAndNoConditionalsYieldNaN)
+{
+    trace::Trace t = workload::makeBenchmarkTrace("xlisp", 5000, 0);
+    CharacterizeOptions options;
+    options.withPredictor = false;
+    WorkloadFingerprint fp = characterizeTrace(t, options);
+    EXPECT_TRUE(std::isnan(fp.gshareAccuracyPercent));
+    EXPECT_EQ(fp.h2pBranches, 0u);
+
+    trace::Trace jumps("jumps-only", 1);
+    for (int i = 0; i < 100; ++i)
+        jumps.append({0x100, 0x200, trace::BranchKind::Jump, true});
+    options.withPredictor = true;
+    WorkloadFingerprint empty = characterizeTrace(jumps, options);
+    EXPECT_TRUE(std::isnan(empty.gshareAccuracyPercent));
+    EXPECT_EQ(empty.conditionals, 0u);
+}
+
+TEST(CharacterizeFingerprint, FamiliesAreLabeled)
+{
+    EXPECT_EQ(workloadFamily("gcc"), "paper");
+    EXPECT_EQ(workloadFamily("interp"), "frontier");
+    EXPECT_EQ(workloadFamily("datadep"), "frontier");
+    EXPECT_EQ(workloadFamily("nestloop"), "frontier");
+    EXPECT_EQ(workloadFamily("sample_foreign"), "foreign");
+}
+
+TEST(CharacterizeJson, EmitsSchemaDocumentWithNullForNaN)
+{
+    trace::Trace t = workload::makeBenchmarkTrace("interp", 10000, 0);
+    CharacterizeOptions options;
+    options.withPredictor = false;
+    WorkloadFingerprint fp = characterizeTrace(t, options);
+    std::string doc = fingerprintsToJson({fp}).dump(2);
+    EXPECT_NE(doc.find("\"schema_version\""), std::string::npos);
+    EXPECT_NE(doc.find("fingerprint.schema.json"), std::string::npos);
+    EXPECT_NE(doc.find("\"interp\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gshare_accuracy_percent\": null"),
+              std::string::npos);
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(CharacterizeDoc, TableHasOneRowPerFingerprintInOrder)
+{
+    CharacterizeOptions options;
+    options.withPredictor = false;
+    std::vector<WorkloadFingerprint> fps;
+    for (const char *name : {"compress", "interp"}) {
+        trace::Trace t = workload::makeBenchmarkTrace(name, 5000, 0);
+        fps.push_back(characterizeTrace(t, options));
+    }
+    std::string table = renderFingerprintTable(fps);
+    size_t compress_at = table.find("| compress ");
+    size_t interp_at = table.find("| interp ");
+    EXPECT_NE(compress_at, std::string::npos);
+    EXPECT_NE(interp_at, std::string::npos);
+    EXPECT_LT(compress_at, interp_at);
+
+    std::string doc = renderWorkloadsDoc(fps, 5000);
+    // The drift-gate contract: the doc names its generator and embeds
+    // the table verbatim, so adding a family without regenerating is a
+    // byte-level diff the gate catches.
+    EXPECT_NE(doc.find("copra_characterize --doc-workloads"),
+              std::string::npos);
+    EXPECT_NE(doc.find(table), std::string::npos);
+}
+
+} // namespace
+} // namespace copra::core

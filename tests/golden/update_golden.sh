@@ -38,3 +38,8 @@ for bench in "${benches[@]}"; do
     "$build/bench/$bench" "${args[@]}" > "$root/tests/golden/$bench.txt"
     echo "updated tests/golden/$bench.txt"
 done
+
+# Suite fingerprints (copra_characterize) at the same small budget.
+"$build/tools/copra_characterize" --all --branches 20000 \
+    > "$root/tests/golden/characterize_suite.txt"
+echo "updated tests/golden/characterize_suite.txt"
